@@ -1,0 +1,120 @@
+//! Criterion micro-benchmarks of the substrate kernels so regressions
+//! in the software simulator are visible.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dual_cluster::{AgglomerativeClustering, Linkage};
+use dual_core::pipeline::hamming_pipeline;
+use dual_core::DualConfig;
+use dual_hdc::{BitVec, Encoder, HdMapper};
+use dual_pim::block::MemoryBlock;
+use dual_pim::cam;
+use dual_pim::nor::NorEngine;
+
+fn bench_hamming(c: &mut Criterion) {
+    let a: BitVec = (0..4000).map(|i| i % 3 == 0).collect();
+    let b: BitVec = (0..4000).map(|i| i % 5 == 0).collect();
+    c.bench_function("hamming_4000bit", |bench| {
+        bench.iter(|| std::hint::black_box(a.hamming(&b)))
+    });
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let mapper = HdMapper::new(2000, 64, 7).expect("valid");
+    let feats: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin()).collect();
+    c.bench_function("hdmapper_encode_2000x64", |bench| {
+        bench.iter(|| std::hint::black_box(mapper.encode(&feats).expect("valid")))
+    });
+}
+
+fn bench_nor_adder(c: &mut Criterion) {
+    c.bench_function("nor_add_16bit_1024rows", |bench| {
+        bench.iter_batched(
+            || {
+                let mut e = NorEngine::new(1024, 128).expect("valid");
+                let a: Vec<usize> = (0..16).collect();
+                let b: Vec<usize> = (16..32).collect();
+                let out: Vec<usize> = (32..49).collect();
+                let vals: Vec<u64> = (0..1024).map(|i| i as u64 % 65536).collect();
+                e.write_field_all(&a, &vals).expect("fits");
+                e.write_field_all(&b, &vals).expect("fits");
+                (e, a, b, out)
+            },
+            |(mut e, a, b, out)| e.add(&a, &b, &out, 64).expect("valid"),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cam_search(c: &mut Criterion) {
+    let mut blk = MemoryBlock::new(1024, 64);
+    for r in 0..1024 {
+        let bits: Vec<bool> = (0..64).map(|i| (i + r) % 3 == 0).collect();
+        blk.write_row_bits(r, &bits);
+    }
+    let query: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+    c.bench_function("cam_hamming_64bit_1024rows", |bench| {
+        bench.iter(|| std::hint::black_box(blk.cam_hamming_distance(&query)))
+    });
+}
+
+fn bench_linkage(c: &mut Criterion) {
+    let pts: Vec<Vec<f64>> = (0..128)
+        .map(|i| vec![(i % 11) as f64, (i % 7) as f64])
+        .collect();
+    c.bench_function("agglomerative_ward_128pts", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(AgglomerativeClustering::fit(
+                &pts,
+                Linkage::Ward,
+                dual_cluster::squared_euclidean,
+            ))
+        })
+    });
+}
+
+fn bench_nor_multiplier(c: &mut Criterion) {
+    c.bench_function("nor_mul_8bit_1024rows", |bench| {
+        bench.iter_batched(
+            || {
+                let mut e = NorEngine::new(1024, 256).expect("valid");
+                let a: Vec<usize> = (0..8).collect();
+                let b: Vec<usize> = (8..16).collect();
+                let out: Vec<usize> = (16..32).collect();
+                let vals: Vec<u64> = (0..1024).map(|i| i as u64 % 256).collect();
+                e.write_field_all(&a, &vals).expect("fits");
+                e.write_field_all(&b, &vals).expect("fits");
+                (e, a, b, out)
+            },
+            |(mut e, a, b, out)| e.mul(&a, &b, &out, 64).expect("valid"),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_nearest_search(c: &mut Criterion) {
+    let values: Vec<u64> = (0..4096).map(|i| (i * 2654435761u64) % 4096).collect();
+    let active = vec![true; values.len()];
+    c.bench_function("nearest_search_min_4096x12bit", |bench| {
+        bench.iter(|| std::hint::black_box(cam::nearest_search(&values, &active, 0, 12, 4)))
+    });
+}
+
+fn bench_pipeline_sim(c: &mut Criterion) {
+    let cfg = DualConfig::paper();
+    c.bench_function("hamming_pipeline_sim_10k_windows", |bench| {
+        bench.iter(|| std::hint::black_box(hamming_pipeline(&cfg).simulate(10_000)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hamming,
+    bench_encoding,
+    bench_nor_adder,
+    bench_nor_multiplier,
+    bench_nearest_search,
+    bench_pipeline_sim,
+    bench_cam_search,
+    bench_linkage
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Run every table/figure binary in sequence and write the outputs
+//! under `results/` — the one-shot reproduction driver.
+//!
+//! ```text
+//! cargo run --release -p dual-bench --bin all
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+
+const ARTIFACTS: &[&str] = &[
+    "table2", "table3", "table4", "fig4c", "fig10a", "fig10bcd", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "lifetime", "summary",
+];
+
+fn main() {
+    let out_dir = Path::new("results");
+    std::fs::create_dir_all(out_dir).expect("can create results/");
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let mut failures = 0;
+    for name in ARTIFACTS {
+        let bin = exe_dir.join(name);
+        print!("{name:10} ... ");
+        let output = Command::new(&bin).output();
+        match output {
+            Ok(o) if o.status.success() => {
+                let path = out_dir.join(format!("{name}.txt"));
+                std::fs::write(&path, &o.stdout).expect("writable results/");
+                println!("ok ({} bytes -> {})", o.stdout.len(), path.display());
+            }
+            Ok(o) => {
+                failures += 1;
+                println!("FAILED (status {:?})", o.status.code());
+                eprintln!("{}", String::from_utf8_lossy(&o.stderr));
+            }
+            Err(e) => {
+                failures += 1;
+                println!("FAILED to launch: {e} (build all bins first: cargo build --release -p dual-bench --bins)");
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("\nall artifacts regenerated under results/ — compare against EXPERIMENTS.md");
+}

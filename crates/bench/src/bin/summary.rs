@@ -1,0 +1,56 @@
+//! Headline summary: average DUAL speedup / energy efficiency vs GPU
+//! over the UCI workloads (the abstract's 58.8× / 251.2×), plus the
+//! per-algorithm averages of §VIII-D.
+
+use dual_baseline::Algorithm;
+use dual_bench::{render_table, speedup_energy};
+
+fn amean(v: &[f64]) -> f64 {
+    if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 }
+}
+use dual_core::DualConfig;
+use dual_data::Workload;
+
+fn main() {
+    let cfg = DualConfig::paper();
+    let mut rows = Vec::new();
+    let mut all_s = Vec::new();
+    let mut all_e = Vec::new();
+    for alg in Algorithm::all() {
+        let mut speedups = Vec::new();
+        let mut energies = Vec::new();
+        for w in Workload::uci() {
+            let (s, e) = speedup_energy(cfg, alg, w);
+            speedups.push(s);
+            energies.push(e);
+        }
+        let s = amean(&speedups);
+        let e = amean(&energies);
+        all_s.extend_from_slice(&speedups);
+        all_e.extend_from_slice(&energies);
+        rows.push(vec![
+            alg.name().to_string(),
+            format!("{s:.1}x"),
+            format!("{e:.1}x"),
+            format!(
+                "{:.1}x..{:.1}x",
+                speedups.iter().copied().fold(f64::INFINITY, f64::min),
+                speedups.iter().copied().fold(0.0, f64::max)
+            ),
+        ]);
+    }
+    rows.push(vec![
+        "average".to_string(),
+        format!("{:.1}x", amean(&all_s)),
+        format!("{:.1}x", amean(&all_e)),
+        String::new(),
+    ]);
+    println!(
+        "{}",
+        render_table(
+            "DUAL vs GTX 1080 (paper: 58.8x speedup, 251.2x energy; hier 67.1/328.7, k-means 37.5/131.6, dbscan 71.7/293.3)",
+            &["algorithm", "speedup", "energy eff.", "speedup range"],
+            &rows,
+        )
+    );
+}

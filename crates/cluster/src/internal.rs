@@ -1,0 +1,167 @@
+//! Internal (label-free) clustering quality indices.
+//!
+//! The paper scores clusterings against ground-truth labels; these
+//! complementary indices need no labels and are what a deployment (no
+//! labels available — the whole point of unsupervised learning) would
+//! monitor. Used by the examples and the bench harness's sanity checks.
+
+/// Mean silhouette coefficient of a clustering, in `[-1, 1]` (higher is
+/// better). Points in singleton clusters score 0 by convention.
+///
+/// `O(n²)` distance evaluations — intended for the evaluation scales
+/// this repository uses.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != points.len()`.
+pub fn silhouette<P, F>(points: &[P], labels: &[usize], mut dist: F) -> f64
+where
+    F: FnMut(&P, &P) -> f64,
+{
+    assert_eq!(points.len(), labels.len(), "length mismatch");
+    let n = points.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut sizes = vec![0usize; k];
+    for &l in labels {
+        sizes[l] += 1;
+    }
+    let mut total = 0.0f64;
+    for i in 0..n {
+        if sizes[labels[i]] <= 1 {
+            continue; // singleton: s(i) = 0
+        }
+        // Mean distance to every cluster.
+        let mut sums = vec![0.0f64; k];
+        for j in 0..n {
+            if i != j {
+                sums[labels[j]] += dist(&points[i], &points[j]);
+            }
+        }
+        let own = labels[i];
+        let a = sums[own] / (sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+        }
+    }
+    total / n as f64
+}
+
+/// Davies–Bouldin index (lower is better, ≥ 0): the mean over clusters
+/// of the worst ratio of within-cluster scatter sums to between-center
+/// distance. Euclidean-specific (uses centroids).
+///
+/// # Panics
+///
+/// Panics if `labels.len() != points.len()` or points are ragged.
+#[must_use]
+pub fn davies_bouldin(points: &[Vec<f64>], labels: &[usize]) -> f64 {
+    assert_eq!(points.len(), labels.len(), "length mismatch");
+    let n = points.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let m = points[0].len();
+    let k = labels.iter().copied().max().map_or(0, |x| x + 1);
+    let mut centroids = vec![vec![0.0f64; m]; k];
+    let mut sizes = vec![0usize; k];
+    for (p, &l) in points.iter().zip(labels) {
+        sizes[l] += 1;
+        for (c, x) in centroids[l].iter_mut().zip(p) {
+            *c += x;
+        }
+    }
+    for (c, &s) in centroids.iter_mut().zip(&sizes) {
+        if s > 0 {
+            c.iter_mut().for_each(|v| *v /= s as f64);
+        }
+    }
+    let dist = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    };
+    let mut scatter = vec![0.0f64; k];
+    for (p, &l) in points.iter().zip(labels) {
+        scatter[l] += dist(p, &centroids[l]);
+    }
+    for (s, &c) in scatter.iter_mut().zip(&sizes) {
+        if c > 0 {
+            *s /= c as f64;
+        }
+    }
+    let live: Vec<usize> = (0..k).filter(|&c| sizes[c] > 0).collect();
+    if live.len() < 2 {
+        return 0.0;
+    }
+    let mut db = 0.0f64;
+    for &i in &live {
+        let worst = live
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| {
+                let sep = dist(&centroids[i], &centroids[j]).max(f64::EPSILON);
+                (scatter[i] + scatter[j]) / sep
+            })
+            .fold(0.0f64, f64::max);
+        db += worst;
+    }
+    db / live.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euclidean;
+
+    fn two_blobs() -> (Vec<Vec<f64>>, Vec<usize>, Vec<usize>) {
+        let mut pts = Vec::new();
+        for i in 0..6 {
+            pts.push(vec![0.1 * i as f64, 0.0]);
+        }
+        for i in 0..6 {
+            pts.push(vec![10.0 + 0.1 * i as f64, 0.0]);
+        }
+        let good: Vec<usize> = (0..12).map(|i| usize::from(i >= 6)).collect();
+        let bad: Vec<usize> = (0..12).map(|i| i % 2).collect();
+        (pts, good, bad)
+    }
+
+    #[test]
+    fn silhouette_prefers_the_true_partition() {
+        let (pts, good, bad) = two_blobs();
+        let s_good = silhouette(&pts, &good, euclidean);
+        let s_bad = silhouette(&pts, &bad, euclidean);
+        assert!(s_good > 0.9, "good partition: {s_good}");
+        assert!(s_bad < s_good, "bad {s_bad} !< good {s_good}");
+    }
+
+    #[test]
+    fn davies_bouldin_prefers_the_true_partition() {
+        let (pts, good, bad) = two_blobs();
+        let d_good = davies_bouldin(&pts, &good);
+        let d_bad = davies_bouldin(&pts, &bad);
+        assert!(d_good < 0.2, "good partition: {d_good}");
+        assert!(d_bad > d_good);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let pts = vec![vec![0.0]];
+        assert_eq!(silhouette(&pts, &[0], euclidean), 0.0);
+        assert_eq!(davies_bouldin(&pts, &[0]), 0.0);
+        let empty: Vec<Vec<f64>> = Vec::new();
+        assert_eq!(davies_bouldin(&empty, &[]), 0.0);
+    }
+
+    #[test]
+    fn singletons_score_zero_silhouette() {
+        let pts = vec![vec![0.0], vec![5.0], vec![10.0]];
+        let s = silhouette(&pts, &[0, 1, 2], euclidean);
+        assert_eq!(s, 0.0);
+    }
+}

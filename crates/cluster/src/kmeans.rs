@@ -1,0 +1,495 @@
+//! K-means clustering: Euclidean Lloyd's algorithm (baseline) and the
+//! binary Hamming-space variant DUAL executes in memory (§VI-C, Fig. 9b).
+
+use crate::{squared_euclidean, ClusterError};
+use dual_hdc::{majority_bundle, Hypervector};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Euclidean k-means (Lloyd's algorithm with k-means++ initialization) —
+/// the software baseline the paper's GPU comparison runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    k: usize,
+    max_iters: usize,
+    tol: f64,
+    seed: u64,
+}
+
+/// Outcome of a [`KMeans::fit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansResult {
+    /// Cluster index per input point.
+    pub labels: Vec<usize>,
+    /// Final cluster centers (`k × m`).
+    pub centers: Vec<Vec<f64>>,
+    /// Iterations executed before convergence or the cap.
+    pub iterations: usize,
+    /// Sum of squared distances of points to their assigned center.
+    pub inertia: f64,
+}
+
+impl KMeans {
+    /// Configure a run with `k` clusters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidParameter`] when `k == 0`.
+    pub fn new(k: usize) -> Result<Self, ClusterError> {
+        if k == 0 {
+            return Err(ClusterError::InvalidParameter {
+                name: "k",
+                reason: "must be positive",
+            });
+        }
+        Ok(Self {
+            k,
+            max_iters: 100,
+            tol: 1e-6,
+            seed: 0,
+        })
+    }
+
+    /// Cap on Lloyd iterations (default 100).
+    #[must_use]
+    pub fn max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Convergence tolerance on total center movement (default 1e-6).
+    #[must_use]
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Seed for the k-means++ initialization (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Run Lloyd's algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::TooFewPoints`] when fewer than `k` points
+    /// are supplied.
+    pub fn fit(&self, points: &[Vec<f64>]) -> Result<KMeansResult, ClusterError> {
+        let n = points.len();
+        if n < self.k {
+            return Err(ClusterError::TooFewPoints {
+                needed: self.k,
+                got: n,
+            });
+        }
+        let m = points[0].len();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut centers = kmeans_pp_init(points, self.k, &mut rng);
+        let mut labels = vec![0usize; n];
+        let mut iterations = 0;
+        for iter in 0..self.max_iters.max(1) {
+            iterations = iter + 1;
+            // Assignment step.
+            for (p, lbl) in points.iter().zip(labels.iter_mut()) {
+                *lbl = argmin_center(p, &centers);
+            }
+            // Update step.
+            let mut sums = vec![vec![0.0f64; m]; self.k];
+            let mut counts = vec![0usize; self.k];
+            for (p, &lbl) in points.iter().zip(&labels) {
+                counts[lbl] += 1;
+                for (s, x) in sums[lbl].iter_mut().zip(p) {
+                    *s += x;
+                }
+            }
+            let mut movement = 0.0;
+            for c in 0..self.k {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster at a random point.
+                    let idx = rng.gen_range(0..n);
+                    movement += squared_euclidean(&centers[c], &points[idx]).sqrt();
+                    centers[c] = points[idx].clone();
+                    continue;
+                }
+                let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+                movement += squared_euclidean(&centers[c], &new).sqrt();
+                centers[c] = new;
+            }
+            if movement <= self.tol {
+                break;
+            }
+        }
+        // Final assignment against the converged centers.
+        for (p, lbl) in points.iter().zip(labels.iter_mut()) {
+            *lbl = argmin_center(p, &centers);
+        }
+        let inertia = points
+            .iter()
+            .zip(&labels)
+            .map(|(p, &l)| squared_euclidean(p, &centers[l]))
+            .sum();
+        Ok(KMeansResult {
+            labels,
+            centers,
+            iterations,
+            inertia,
+        })
+    }
+}
+
+fn argmin_center(p: &Vec<f64>, centers: &[Vec<f64>]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, center) in centers.iter().enumerate() {
+        let d = squared_euclidean(p, center);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+fn kmeans_pp_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centers.push(points.choose(rng).expect("non-empty checked").clone());
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| squared_euclidean(p, &centers[0]))
+        .collect();
+    while centers.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            points.choose(rng).expect("non-empty").clone()
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut pick = points.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    pick = i;
+                    break;
+                }
+                target -= w;
+            }
+            points[pick].clone()
+        };
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(squared_euclidean(p, &next));
+        }
+        centers.push(next);
+    }
+    centers
+}
+
+/// Binary k-means over hypervectors with Hamming distance — the variant
+/// DUAL maps onto the PIM (§VI-C): distances by row-parallel Hamming
+/// search, centers re-binarized each iteration (majority vote), and
+/// convergence declared when the number of center *bit flips* between
+/// consecutive iterations drops below a threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HammingKMeans {
+    k: usize,
+    max_iters: usize,
+    /// Stop when total center bit flips fall at or below this count.
+    flip_threshold: usize,
+    seed: u64,
+}
+
+/// Outcome of a [`HammingKMeans::fit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HammingKMeansResult {
+    /// Cluster index per input point.
+    pub labels: Vec<usize>,
+    /// Final binary centers.
+    pub centers: Vec<Hypervector>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Total Hamming distance of points to their assigned centers.
+    pub inertia: usize,
+}
+
+impl HammingKMeans {
+    /// Configure a run with `k` clusters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidParameter`] when `k == 0`.
+    pub fn new(k: usize) -> Result<Self, ClusterError> {
+        if k == 0 {
+            return Err(ClusterError::InvalidParameter {
+                name: "k",
+                reason: "must be positive",
+            });
+        }
+        Ok(Self {
+            k,
+            max_iters: 50,
+            flip_threshold: 0,
+            seed: 0,
+        })
+    }
+
+    /// Cap on iterations (default 50).
+    #[must_use]
+    pub fn max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Convergence threshold on total center bit flips between
+    /// consecutive iterations (default 0 — exact fixpoint).
+    #[must_use]
+    pub fn flip_threshold(mut self, flips: usize) -> Self {
+        self.flip_threshold = flips;
+        self
+    }
+
+    /// Seed for center initialization (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Run binary k-means.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::TooFewPoints`] when fewer than `k` points
+    /// are supplied.
+    pub fn fit(&self, points: &[Hypervector]) -> Result<HammingKMeansResult, ClusterError> {
+        let n = points.len();
+        if n < self.k {
+            return Err(ClusterError::TooFewPoints {
+                needed: self.k,
+                got: n,
+            });
+        }
+        // k-means++-style initialization in Hamming space: a random
+        // first center, then probabilistic seeding weighted by the
+        // distance to the nearest chosen center (Hamming distance on
+        // binary vectors *is* the squared Euclidean distance, so this is
+        // exactly the classic D² weighting).
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let first = rng.gen_range(0..n);
+        let mut chosen = vec![first];
+        let mut nearest: Vec<usize> = points.iter().map(|p| p.hamming(&points[first])).collect();
+        while chosen.len() < self.k {
+            let total: usize = nearest.iter().sum();
+            let pick = if total == 0 {
+                rng.gen_range(0..n)
+            } else {
+                let mut target = rng.gen_range(0..total);
+                let mut pick = n - 1;
+                for (i, &w) in nearest.iter().enumerate() {
+                    if target < w {
+                        pick = i;
+                        break;
+                    }
+                    target -= w;
+                }
+                pick
+            };
+            chosen.push(pick);
+            for (i, p) in points.iter().enumerate() {
+                nearest[i] = nearest[i].min(p.hamming(&points[pick]));
+            }
+        }
+        let mut centers: Vec<Hypervector> = chosen.iter().map(|&i| points[i].clone()).collect();
+        let mut labels = vec![0usize; n];
+        let mut iterations = 0;
+        for iter in 0..self.max_iters.max(1) {
+            iterations = iter + 1;
+            for (p, lbl) in points.iter().zip(labels.iter_mut()) {
+                *lbl = argmin_hamming(p, &centers);
+            }
+            let mut flips = 0usize;
+            for c in 0..self.k {
+                let members: Vec<&Hypervector> = points
+                    .iter()
+                    .zip(&labels)
+                    .filter(|(_, &l)| l == c)
+                    .map(|(p, _)| p)
+                    .collect();
+                if members.is_empty() {
+                    let idx = rng.gen_range(0..n);
+                    flips += centers[c].hamming(&points[idx]);
+                    centers[c] = points[idx].clone();
+                    continue;
+                }
+                let new = majority_bundle(&members).expect("members non-empty, equal dims");
+                flips += centers[c].hamming(&new);
+                centers[c] = new;
+            }
+            if flips <= self.flip_threshold {
+                break;
+            }
+        }
+        for (p, lbl) in points.iter().zip(labels.iter_mut()) {
+            *lbl = argmin_hamming(p, &centers);
+        }
+        let inertia = points
+            .iter()
+            .zip(&labels)
+            .map(|(p, &l)| p.hamming(&centers[l]))
+            .sum();
+        Ok(HammingKMeansResult {
+            labels,
+            centers,
+            iterations,
+            inertia,
+        })
+    }
+}
+
+fn argmin_hamming(p: &Hypervector, centers: &[Hypervector]) -> usize {
+    let mut best = 0;
+    let mut best_d = usize::MAX;
+    for (c, center) in centers.iter().enumerate() {
+        let d = p.hamming(center);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dual_hdc::BitVec;
+    use proptest::prelude::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            pts.push(vec![10.0 + 0.01 * i as f64, 10.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn rejects_k_zero_and_too_few_points() {
+        assert!(KMeans::new(0).is_err());
+        let km = KMeans::new(5).unwrap();
+        assert_eq!(
+            km.fit(&[vec![1.0]]),
+            Err(ClusterError::TooFewPoints { needed: 5, got: 1 })
+        );
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = blobs();
+        let res = KMeans::new(2).unwrap().seed(1).fit(&pts).unwrap();
+        for i in (0..20).step_by(2) {
+            assert_eq!(res.labels[i], res.labels[0]);
+            assert_eq!(res.labels[i + 1], res.labels[1]);
+        }
+        assert_ne!(res.labels[0], res.labels[1]);
+        assert!(res.inertia < 1.0);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = vec![vec![0.0], vec![5.0], vec![9.0]];
+        let res = KMeans::new(3).unwrap().fit(&pts).unwrap();
+        assert!(res.inertia < 1e-12);
+    }
+
+    #[test]
+    fn converges_within_cap() {
+        let pts = blobs();
+        let res = KMeans::new(2).unwrap().max_iters(50).fit(&pts).unwrap();
+        assert!(res.iterations < 50, "took {}", res.iterations);
+    }
+
+    fn binary_blobs(d: usize) -> Vec<Hypervector> {
+        // Two binary prototypes far apart, members with few flips.
+        let proto_a = Hypervector::from_bitvec(BitVec::zeros(d));
+        let proto_b = Hypervector::from_bitvec(BitVec::ones(d));
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            let mut a = proto_a.clone();
+            a.bits_mut().set(i % d, true);
+            pts.push(a);
+            let mut b = proto_b.clone();
+            b.bits_mut().set((i * 3) % d, false);
+            pts.push(b);
+        }
+        pts
+    }
+
+    #[test]
+    fn hamming_kmeans_separates_binary_blobs() {
+        let pts = binary_blobs(64);
+        let res = HammingKMeans::new(2).unwrap().seed(3).fit(&pts).unwrap();
+        for i in (0..pts.len()).step_by(2) {
+            assert_eq!(res.labels[i], res.labels[0]);
+        }
+        for i in (1..pts.len()).step_by(2) {
+            assert_eq!(res.labels[i], res.labels[1]);
+        }
+        assert_ne!(res.labels[0], res.labels[1]);
+        // Centers stay binary by construction and land near prototypes.
+        assert!(res.centers.iter().all(|c| c.dim() == 64));
+    }
+
+    #[test]
+    fn hamming_kmeans_rejects_bad_params() {
+        assert!(HammingKMeans::new(0).is_err());
+        let km = HammingKMeans::new(3).unwrap();
+        let pts = vec![Hypervector::zeros(8)];
+        assert!(km.fit(&pts).is_err());
+    }
+
+    #[test]
+    fn hamming_kmeans_flip_threshold_halts_early() {
+        let pts = binary_blobs(64);
+        let tight = HammingKMeans::new(2).unwrap().seed(3).fit(&pts).unwrap();
+        let loose = HammingKMeans::new(2)
+            .unwrap()
+            .seed(3)
+            .flip_threshold(1_000_000)
+            .fit(&pts)
+            .unwrap();
+        assert_eq!(loose.iterations, 1);
+        assert!(tight.iterations >= loose.iterations);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_labels_in_range_and_inertia_finite(
+            xs in proptest::collection::vec(-100.0f64..100.0, 6..40),
+            k in 1usize..5,
+        ) {
+            prop_assume!(xs.len() >= k);
+            let pts: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+            let res = KMeans::new(k).unwrap().seed(7).fit(&pts).unwrap();
+            prop_assert_eq!(res.labels.len(), pts.len());
+            prop_assert!(res.labels.iter().all(|&l| l < k));
+            prop_assert!(res.inertia.is_finite());
+            prop_assert_eq!(res.centers.len(), k);
+        }
+
+        #[test]
+        fn prop_more_clusters_never_increase_inertia(
+            xs in proptest::collection::vec(-100.0f64..100.0, 10..30),
+        ) {
+            let pts: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+            let r1 = KMeans::new(1).unwrap().seed(5).fit(&pts).unwrap();
+            let r3 = KMeans::new(3).unwrap().seed(5).max_iters(200).fit(&pts).unwrap();
+            // k=1 inertia is the global ESS; k=3 local optimum can't beat
+            // it upward by more than numerical noise.
+            prop_assert!(r3.inertia <= r1.inertia + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # dual-core — the DUAL accelerator
+//!
+//! The paper's primary contribution, assembled from the substrate
+//! crates: a **D**igital-based **U**nsupervised learning
+//! **A**cce**L**erator that
+//!
+//! 1. encodes data points into binary hypervectors with the non-linear
+//!    HD-Mapper (`dual-hdc`),
+//! 2. stores them in memristive crossbar *data blocks* and computes all
+//!    pairwise similarities with row-parallel Hamming search
+//!    (`dual-pim`, `dual-isa`), and
+//! 3. runs hierarchical clustering, k-means, or DBSCAN entirely
+//!    in-memory using nearest search and NOR arithmetic for the
+//!    distance-matrix updates (`dual-cluster` provides the reference
+//!    semantics).
+//!
+//! Two layers are exposed:
+//!
+//! * [`DualAccelerator`] — the *functional* path: actually executes
+//!   clustering through the PIM instruction runtime on small datasets,
+//!   so results can be checked bit-for-bit against the software
+//!   algorithms.
+//! * [`PerfModel`] — the *analytical* path: op-count accounting with
+//!   Table II/III costs for arbitrarily large workloads (the paper's
+//!   10M-point runs), including the ablation switches (no interconnect,
+//!   no counters), data-copy parallelism and multi-chip scaling that
+//!   drive Figs. 12–15.
+//!
+//! ```rust
+//! use dual_core::{DualConfig, PerfModel};
+//! use dual_baseline::{Algorithm, GpuModel};
+//!
+//! let model = PerfModel::new(DualConfig::paper());
+//! let dual = model.hierarchical(60_000);
+//! let gpu = GpuModel::gtx_1080().cost(Algorithm::Hierarchical, 60_000, 784, 10, 1);
+//! let speedup = gpu.time_s() / dual.time_s();
+//! assert!(speedup > 10.0, "DUAL must clearly beat the GPU, got {speedup:.1}x");
+//! ```
+
+#![warn(missing_docs)]
+
+mod accelerator;
+mod config;
+mod parallel;
+mod partition;
+mod perf;
+mod pim_encoder;
+pub mod pipeline;
+
+pub use accelerator::{DualAccelerator, DualClusteringOutcome};
+pub use config::DualConfig;
+pub use parallel::{chip_scaling_speedup, replication_speedup, ScalingModel};
+pub use partition::{
+    hierarchical_capacity, partition_quality_retention, partitioned_cost,
+    partitioned_hierarchical, plan as partition_plan, PartitionPlan,
+};
+pub use perf::{PerfModel, Phase, PhaseReport};
+pub use pim_encoder::PimEncoder;

@@ -1,0 +1,204 @@
+//! CSV import/export for datasets.
+//!
+//! A downstream user's data arrives as CSV more often than not; these
+//! helpers read/write the simple `f1,...,fm,label` layout used by the
+//! Fig. 11 embedding dumps and by the examples.
+
+use crate::Dataset;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Errors from dataset CSV parsing.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A row had a different column count than the first row.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A cell failed to parse as a number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// Column index.
+        column: usize,
+    },
+    /// The file contained no data rows.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::RaggedRow { line } => write!(f, "ragged row at line {line}"),
+            Self::BadNumber { line, column } => {
+                write!(f, "unparsable number at line {line}, column {column}")
+            }
+            Self::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Serialize a dataset as `f1,...,fm,label` lines (no header).
+#[must_use]
+pub fn to_csv(ds: &Dataset) -> String {
+    let mut out = String::new();
+    for (p, &l) in ds.points.iter().zip(&ds.labels) {
+        for x in p {
+            let _ = write!(out, "{x},");
+        }
+        let _ = writeln!(out, "{l}");
+    }
+    out
+}
+
+/// Write a dataset to a CSV file.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_csv(ds: &Dataset, path: &Path) -> Result<(), CsvError> {
+    std::fs::write(path, to_csv(ds))?;
+    Ok(())
+}
+
+/// Parse a dataset from `f1,...,fm,label` text. The cluster count is
+/// inferred as `max(label) + 1`.
+///
+/// # Errors
+///
+/// [`CsvError`] variants for I/O, ragged rows, bad numbers, or empty
+/// input.
+pub fn from_csv(name: &str, text: &str) -> Result<Dataset, CsvError> {
+    let mut points = Vec::new();
+    let mut labels = Vec::new();
+    let mut width: Option<usize> = None;
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        match width {
+            None => width = Some(cells.len()),
+            Some(w) if w != cells.len() => {
+                return Err(CsvError::RaggedRow { line: idx + 1 });
+            }
+            _ => {}
+        }
+        let (feat, label) = cells.split_at(cells.len() - 1);
+        let mut row = Vec::with_capacity(feat.len());
+        for (c, cell) in feat.iter().enumerate() {
+            row.push(cell.trim().parse::<f64>().map_err(|_| CsvError::BadNumber {
+                line: idx + 1,
+                column: c,
+            })?);
+        }
+        let l: usize = label[0]
+            .trim()
+            .parse()
+            .map_err(|_| CsvError::BadNumber {
+                line: idx + 1,
+                column: cells.len() - 1,
+            })?;
+        points.push(row);
+        labels.push(l);
+    }
+    if points.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    let n_clusters = labels.iter().copied().max().unwrap_or(0) + 1;
+    Ok(Dataset {
+        name: name.to_owned(),
+        points,
+        labels,
+        n_clusters,
+    })
+}
+
+/// Read a dataset from a CSV file.
+///
+/// # Errors
+///
+/// As [`from_csv`], plus I/O failures.
+pub fn read_csv(name: &str, path: &Path) -> Result<Dataset, CsvError> {
+    let text = std::fs::read_to_string(path)?;
+    from_csv(name, &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticSpec;
+
+    #[test]
+    fn roundtrip_through_text() {
+        let ds = SyntheticSpec::paper("rt", 20, 3, 2).generate(7);
+        let text = to_csv(&ds);
+        let back = from_csv("rt", &text).unwrap();
+        assert_eq!(back.labels, ds.labels);
+        assert_eq!(back.n_clusters, ds.n_clusters);
+        assert_eq!(back.len(), ds.len());
+        for (a, b) in back.points.iter().zip(&ds.points) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let ds = SyntheticSpec::paper("rt", 8, 2, 2).generate(1);
+        let dir = std::env::temp_dir().join("dual_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.csv");
+        write_csv(&ds, &path).unwrap();
+        let back = read_csv("rt", &path).unwrap();
+        assert_eq!(back.len(), 8);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(matches!(from_csv("x", ""), Err(CsvError::Empty)));
+        assert!(matches!(
+            from_csv("x", "1.0,2.0,0\n1.0,0\n"),
+            Err(CsvError::RaggedRow { line: 2 })
+        ));
+        assert!(matches!(
+            from_csv("x", "1.0,zap,0\n"),
+            Err(CsvError::BadNumber { line: 1, column: 1 })
+        ));
+        assert!(matches!(
+            from_csv("x", "1.0,2.0,dog\n"),
+            Err(CsvError::BadNumber { .. })
+        ));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let ds = from_csv("x", "1.0,0\n\n2.0,1\n").unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.n_clusters, 2);
+    }
+}

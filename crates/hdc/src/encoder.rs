@@ -1,0 +1,399 @@
+//! The HD-Mapper: DUAL's non-linear RBF-inspired encoder (§III-A).
+
+use crate::{BitVec, Encoder, HdcError, Hypervector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// How the encoder evaluates the cosine non-linearity.
+///
+/// The algorithmic definition uses an exact cosine; the in-memory
+/// implementation (§V-A) approximates it with the first three terms of
+/// the Taylor expansion, `1 - y²/2 + y⁴/24`, after range reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum CosineMode {
+    /// Library cosine (`f64::cos`) — the algorithmic reference.
+    #[default]
+    Exact,
+    /// Three-term Taylor expansion with quadrant folding, the behaviour
+    /// of the PIM pipeline after its pre-scaling stage. Sign-accurate
+    /// everywhere (max absolute error < 0.02 on the folded domain).
+    Taylor3,
+    /// Three-term Taylor expansion applied to the raw reduced angle in
+    /// `[-π, π]` *without* quadrant folding — an ablation showing what
+    /// happens if the hardware skipped the folding step (sign errors
+    /// appear near `±π`).
+    Taylor3Raw,
+}
+
+/// DUAL's HD-Mapper: encodes an `m`-feature point into a `D`-bit
+/// hypervector via `h_i = sign(cos(B_i · F))` where each base vector
+/// `B_i ∈ R^m` is sampled once from `N(0, 1)` (§III-A, Fig. 3).
+///
+/// The cosine non-linearity is what distinguishes the HD-Mapper from
+/// plain sign-random-projection LSH and is responsible for the quality
+/// gap in Fig. 10b-d: it approximates the RBF kernel feature map of
+/// Rahimi & Recht (2008), so *non-linearly* separable structure in the
+/// original space becomes linearly (Hamming-) separable in HD space.
+///
+/// ```rust
+/// use dual_hdc::{CosineMode, Encoder, HdMapper};
+///
+/// # fn main() -> Result<(), dual_hdc::HdcError> {
+/// let mapper = HdMapper::builder(2000, 4)
+///     .seed(42)
+///     .sigma(2.0)
+///     .cosine_mode(CosineMode::Taylor3)
+///     .build()?;
+/// let hv = mapper.encode(&[1.0, 0.0, -1.0, 0.5])?;
+/// assert_eq!(hv.dim(), 2000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HdMapper {
+    /// Row-major `D × m` base matrix.
+    base: Vec<f64>,
+    dim: usize,
+    n_features: usize,
+    sigma: f64,
+    mode: CosineMode,
+}
+
+/// Builder for [`HdMapper`]; see [`HdMapper::builder`].
+#[derive(Debug, Clone)]
+pub struct HdMapperBuilder {
+    dim: usize,
+    n_features: usize,
+    seed: u64,
+    sigma: f64,
+    mode: CosineMode,
+}
+
+impl HdMapperBuilder {
+    /// Seed of the deterministic base-vector generator (base vectors are
+    /// generated once offline and reused; §III-A).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Kernel bandwidth σ of the approximated RBF kernel: projections
+    /// are scaled by `1/σ` before the cosine. Larger σ makes the encoder
+    /// smoother (coarser clusters); must be positive and finite.
+    #[must_use]
+    pub fn sigma(mut self, sigma: f64) -> Self {
+        self.sigma = sigma;
+        self
+    }
+
+    /// Select the cosine evaluation strategy.
+    #[must_use]
+    pub fn cosine_mode(mut self, mode: CosineMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Build the mapper, sampling the base matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidParameter`] when `dim` or `n_features`
+    /// is zero, or σ is non-positive/non-finite.
+    pub fn build(self) -> Result<HdMapper, HdcError> {
+        if self.dim == 0 {
+            return Err(HdcError::InvalidParameter {
+                name: "dim",
+                reason: "must be positive",
+            });
+        }
+        if self.n_features == 0 {
+            return Err(HdcError::InvalidParameter {
+                name: "n_features",
+                reason: "must be positive",
+            });
+        }
+        if !(self.sigma.is_finite() && self.sigma > 0.0) {
+            return Err(HdcError::InvalidParameter {
+                name: "sigma",
+                reason: "must be positive and finite",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let normal = Normal::new(0.0, 1.0).expect("unit normal is valid");
+        let base = (0..self.dim * self.n_features)
+            .map(|_| normal.sample(&mut rng))
+            .collect();
+        Ok(HdMapper {
+            base,
+            dim: self.dim,
+            n_features: self.n_features,
+            sigma: self.sigma,
+            mode: self.mode,
+        })
+    }
+}
+
+impl HdMapper {
+    /// Start building a mapper for `dim`-bit hypervectors over
+    /// `n_features`-dimensional inputs.
+    #[must_use]
+    pub fn builder(dim: usize, n_features: usize) -> HdMapperBuilder {
+        HdMapperBuilder {
+            dim,
+            n_features,
+            seed: 0x5eed,
+            sigma: 1.0,
+            mode: CosineMode::Exact,
+        }
+    }
+
+    /// Convenience constructor with defaults (`σ = 1`, exact cosine).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidParameter`] when `dim` or `n_features`
+    /// is zero.
+    pub fn new(dim: usize, n_features: usize, seed: u64) -> Result<Self, HdcError> {
+        Self::builder(dim, n_features).seed(seed).build()
+    }
+
+    /// The kernel bandwidth σ.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The configured cosine evaluation mode.
+    #[must_use]
+    pub fn cosine_mode(&self) -> CosineMode {
+        self.mode
+    }
+
+    /// Base vector `B_i` (row `i` of the base matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    #[must_use]
+    pub fn base_vector(&self, i: usize) -> &[f64] {
+        assert!(i < self.dim, "base vector index out of range");
+        &self.base[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// The raw (pre-binarization) encoding `h_i = cos(B_i·F/σ)` — exposed
+    /// because the PIM encoding pipeline (§V-A) operates on exactly this
+    /// intermediate before taking the sign bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::FeatureLength`] on a feature-count mismatch.
+    pub fn project(&self, features: &[f64]) -> Result<Vec<f64>, HdcError> {
+        if features.len() != self.n_features {
+            return Err(HdcError::FeatureLength {
+                expected: self.n_features,
+                got: features.len(),
+            });
+        }
+        let inv_sigma = 1.0 / self.sigma;
+        Ok((0..self.dim)
+            .map(|i| {
+                let dot: f64 = self
+                    .base_vector(i)
+                    .iter()
+                    .zip(features)
+                    .map(|(b, f)| b * f)
+                    .sum();
+                eval_cosine(dot * inv_sigma, self.mode)
+            })
+            .collect())
+    }
+}
+
+impl Encoder for HdMapper {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn encode(&self, features: &[f64]) -> Result<Hypervector, HdcError> {
+        let projected = self.project(features)?;
+        let bits: BitVec = projected.iter().map(|&h| h > 0.0).collect();
+        Ok(Hypervector::from_bitvec(bits))
+    }
+}
+
+/// Evaluate the configured cosine approximation on an arbitrary angle.
+#[must_use]
+pub(crate) fn eval_cosine(x: f64, mode: CosineMode) -> f64 {
+    match mode {
+        CosineMode::Exact => x.cos(),
+        CosineMode::Taylor3 => taylor3_folded(x),
+        CosineMode::Taylor3Raw => taylor3_poly(reduce_to_pi(x)),
+    }
+}
+
+/// Range-reduce to `[-π, π]`.
+fn reduce_to_pi(x: f64) -> f64 {
+    use std::f64::consts::{PI, TAU};
+    let mut r = x % TAU;
+    if r > PI {
+        r -= TAU;
+    } else if r < -PI {
+        r += TAU;
+    }
+    r
+}
+
+/// Quadrant-folded 3-term Taylor cosine: reduce to `[-π, π]`, then use
+/// `cos(x) = -cos(π - |x|)` to land the polynomial argument in
+/// `[-π/2, π/2]` where three terms are sign-accurate.
+fn taylor3_folded(x: f64) -> f64 {
+    use std::f64::consts::{FRAC_PI_2, PI};
+    let r = reduce_to_pi(x).abs();
+    if r <= FRAC_PI_2 {
+        taylor3_poly(r)
+    } else {
+        -taylor3_poly(PI - r)
+    }
+}
+
+/// `1 - y²/2 + y⁴/24` — the first three terms of the cosine expansion,
+/// exactly what the in-memory pipeline computes with two squarings, two
+/// constant multiplies, and an add/subtract chain (§V-A).
+fn taylor3_poly(y: f64) -> f64 {
+    let y2 = y * y;
+    1.0 - y2 / 2.0 + y2 * y2 / 24.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn builder_rejects_bad_params() {
+        assert!(HdMapper::builder(0, 3).build().is_err());
+        assert!(HdMapper::builder(10, 0).build().is_err());
+        assert!(HdMapper::builder(10, 3).sigma(0.0).build().is_err());
+        assert!(HdMapper::builder(10, 3).sigma(f64::NAN).build().is_err());
+    }
+
+    #[test]
+    fn encode_is_deterministic_per_seed() {
+        let m1 = HdMapper::new(256, 5, 9).unwrap();
+        let m2 = HdMapper::new(256, 5, 9).unwrap();
+        let f = [0.3, -0.2, 1.5, 0.0, 2.0];
+        assert_eq!(m1.encode(&f).unwrap(), m2.encode(&f).unwrap());
+    }
+
+    #[test]
+    fn different_seeds_give_different_encodings() {
+        let m1 = HdMapper::new(512, 5, 1).unwrap();
+        let m2 = HdMapper::new(512, 5, 2).unwrap();
+        let f = [0.3, -0.2, 1.5, 0.0, 2.0];
+        let h1 = m1.encode(&f).unwrap();
+        let h2 = m2.encode(&f).unwrap();
+        // Independent encoders should disagree on ~half the bits.
+        let d = h1.hamming(&h2);
+        assert!(d > 128 && d < 384, "distance {d} not near D/2");
+    }
+
+    #[test]
+    fn encode_rejects_wrong_feature_count() {
+        let m = HdMapper::new(64, 3, 0).unwrap();
+        assert_eq!(
+            m.encode(&[1.0, 2.0]),
+            Err(HdcError::FeatureLength {
+                expected: 3,
+                got: 2
+            })
+        );
+    }
+
+    #[test]
+    fn nearby_points_are_closer_than_far_points() {
+        let m = HdMapper::builder(4000, 8).seed(3).sigma(4.0).build().unwrap();
+        let a = [1.0, 2.0, 0.0, -1.0, 0.5, 0.2, 1.1, -0.4];
+        let mut near = a;
+        near[0] += 0.05;
+        let far = [-3.0, 8.0, 5.0, 4.0, -6.0, 2.0, -9.0, 7.0];
+        let ha = m.encode(&a).unwrap();
+        let hn = m.encode(&near).unwrap();
+        let hf = m.encode(&far).unwrap();
+        assert!(ha.hamming(&hn) < ha.hamming(&hf));
+    }
+
+    #[test]
+    fn taylor3_folded_matches_cos_sign_everywhere() {
+        for k in -1000..1000 {
+            let x = k as f64 * 0.013;
+            let exact = x.cos();
+            let approx = taylor3_folded(x);
+            if exact.abs() > 0.05 {
+                assert_eq!(
+                    exact > 0.0,
+                    approx > 0.0,
+                    "sign mismatch at x={x}: cos={exact}, taylor={approx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn taylor3_raw_has_sign_errors_near_pi() {
+        // The ablation mode must actually exhibit the failure it models.
+        let x = std::f64::consts::PI * 0.98;
+        assert!(x.cos() < 0.0);
+        assert!(eval_cosine(x, CosineMode::Taylor3Raw) > 0.0);
+    }
+
+    #[test]
+    fn taylor3_is_close_on_folded_domain() {
+        for k in 0..100 {
+            let x = -std::f64::consts::PI + k as f64 * (std::f64::consts::TAU / 100.0);
+            assert!((taylor3_folded(x) - x.cos()).abs() < 0.02, "x={x}");
+        }
+    }
+
+    #[test]
+    fn batch_encode_matches_single() {
+        let m = HdMapper::new(128, 2, 0).unwrap();
+        let rows = vec![vec![1.0, 2.0], vec![-1.0, 0.5]];
+        let batch = m.encode_batch(&rows).unwrap();
+        assert_eq!(batch[0], m.encode(&rows[0]).unwrap());
+        assert_eq!(batch[1], m.encode(&rows[1]).unwrap());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encoding_dim_always_matches(dim in 1usize..512, nf in 1usize..8,
+                                            feats in proptest::collection::vec(-10.0f64..10.0, 8)) {
+            let m = HdMapper::new(dim, nf, 7).unwrap();
+            let h = m.encode(&feats[..nf]).unwrap();
+            prop_assert_eq!(h.dim(), dim);
+        }
+
+        #[test]
+        fn prop_scaling_features_and_sigma_is_invariant(scale in 0.1f64..10.0,
+                                                        feats in proptest::collection::vec(-3.0f64..3.0, 4)) {
+            // encode(F; σ) == encode(c·F; c·σ) because only F/σ enters.
+            let m1 = HdMapper::builder(128, 4).seed(5).sigma(1.0).build().unwrap();
+            let m2 = HdMapper::builder(128, 4).seed(5).sigma(scale).build().unwrap();
+            let scaled: Vec<f64> = feats.iter().map(|f| f * scale).collect();
+            prop_assert_eq!(m1.encode(&feats).unwrap(), m2.encode(&scaled).unwrap());
+        }
+
+        #[test]
+        fn prop_taylor3_sign_agrees_with_cos(x in -50.0f64..50.0) {
+            let exact = x.cos();
+            prop_assume!(exact.abs() > 0.05);
+            prop_assert_eq!(exact > 0.0, taylor3_folded(x) > 0.0);
+        }
+    }
+}

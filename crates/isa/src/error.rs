@@ -1,0 +1,83 @@
+//! Error type for the isa crate.
+
+use dual_pim::PimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the VLCA runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable constraint description.
+        reason: &'static str,
+    },
+    /// Not enough free memory to satisfy an allocation.
+    OutOfMemory {
+        /// Rows requested.
+        rows: usize,
+        /// Bit-columns requested.
+        bits: usize,
+    },
+    /// Two VLCAs used together have incompatible shapes.
+    ShapeMismatch {
+        /// What was being attempted.
+        what: &'static str,
+    },
+    /// The referenced allocation no longer exists.
+    StaleHandle,
+    /// An error bubbled up from the PIM layer.
+    Pim(PimError),
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Self::OutOfMemory { rows, bits } => {
+                write!(f, "cannot allocate {rows} rows × {bits} bits")
+            }
+            Self::ShapeMismatch { what } => write!(f, "shape mismatch in {what}"),
+            Self::StaleHandle => write!(f, "allocation handle is no longer valid"),
+            Self::Pim(e) => write!(f, "pim error: {e}"),
+        }
+    }
+}
+
+impl Error for IsaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Pim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<PimError> for IsaError {
+    fn from(e: PimError) -> Self {
+        Self::Pim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = IsaError::OutOfMemory { rows: 10, bits: 8 };
+        assert!(e.to_string().contains("10 rows"));
+        let wrapped = IsaError::from(PimError::OutOfRange {
+            what: "row",
+            index: 1,
+            bound: 1,
+        });
+        assert!(wrapped.source().is_some());
+    }
+}

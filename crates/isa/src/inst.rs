@@ -1,0 +1,150 @@
+//! The PIM instructions of Table I and the specialized registers.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic instruction selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArithKind {
+    /// Row-parallel addition.
+    Add,
+    /// Row-parallel subtraction.
+    Sub,
+    /// Row-parallel multiplication.
+    Mul,
+    /// Row-parallel (approximate) division.
+    Div,
+}
+
+/// One PIM instruction as issued through the device driver (Table I).
+///
+/// Register naming follows the paper: `b*` are block registers, `r*`
+/// row registers, `c*` column registers, `q` the query register, `nr`/
+/// `nc` row/column counts.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Instruction {
+    /// Load the query register from `size` cells at `addr` of block `b`.
+    SetQInput {
+        /// Source block.
+        b: usize,
+        /// Source address (row).
+        addr: usize,
+        /// Number of query bits.
+        size: usize,
+    },
+    /// One 7-bit Hamming window search on block `b` over columns
+    /// `c1..c2` against the query register.
+    Hamm7 {
+        /// Block searched.
+        b: usize,
+        /// First window column.
+        c1: usize,
+        /// One-past-last window column.
+        c2: usize,
+    },
+    /// Row-parallel arithmetic on block `b`: destination column `d`,
+    /// operand columns starting at `c1`/`c2`, scratch base `c3`.
+    Arith {
+        /// Which operation.
+        kind: ArithKind,
+        /// Block operated on.
+        b: usize,
+        /// Destination column base.
+        d: usize,
+        /// First operand column base.
+        c1: usize,
+        /// Second operand column base.
+        c2: usize,
+        /// Scratch column base.
+        c3: usize,
+    },
+    /// Nearest search on block `b` over `nc` columns starting at `c`
+    /// against query register `q`; writes `rst` and `idx`.
+    NearSearch {
+        /// Block searched.
+        b: usize,
+        /// Number of value columns.
+        nc: usize,
+        /// First value column.
+        c: usize,
+        /// Query value.
+        q: u64,
+    },
+    /// Row-parallel move of an `nr × nc` region from block `b1`
+    /// (`r1`, `c1`) to block `b2` (`r2`, `c2`).
+    RowMv {
+        /// Source block.
+        b1: usize,
+        /// Source row.
+        r1: usize,
+        /// Source column.
+        c1: usize,
+        /// Destination block.
+        b2: usize,
+        /// Destination row.
+        r2: usize,
+        /// Destination column.
+        c2: usize,
+        /// Rows moved.
+        nr: usize,
+        /// Columns moved.
+        nc: usize,
+    },
+}
+
+impl Instruction {
+    /// The instruction mnemonic as printed in Table I.
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Self::SetQInput { .. } => "set_qinput",
+            Self::Hamm7 { .. } => "hamm_7",
+            Self::Arith { kind: ArithKind::Add, .. } => "add",
+            Self::Arith { kind: ArithKind::Sub, .. } => "sub",
+            Self::Arith { kind: ArithKind::Mul, .. } => "mul",
+            Self::Arith { kind: ArithKind::Div, .. } => "div",
+            Self::NearSearch { .. } => "near_search",
+            Self::RowMv { .. } => "row_mv",
+        }
+    }
+}
+
+/// The specialized registers PIM instructions read and write (§VII-C).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RegisterFile {
+    /// Query register: the bit pattern driven onto the bitlines.
+    pub q: Vec<bool>,
+    /// Result register of the last `near_search` (the matched value).
+    pub rst: u64,
+    /// Index register of the last `near_search` (the matched row).
+    pub idx: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_cover_table1() {
+        let insts = [
+            Instruction::SetQInput { b: 0, addr: 0, size: 8 },
+            Instruction::Hamm7 { b: 0, c1: 0, c2: 7 },
+            Instruction::Arith { kind: ArithKind::Add, b: 0, d: 0, c1: 0, c2: 0, c3: 0 },
+            Instruction::Arith { kind: ArithKind::Div, b: 0, d: 0, c1: 0, c2: 0, c3: 0 },
+            Instruction::NearSearch { b: 0, nc: 4, c: 0, q: 0 },
+            Instruction::RowMv { b1: 0, r1: 0, c1: 0, b2: 1, r2: 0, c2: 0, nr: 1, nc: 1 },
+        ];
+        let names: Vec<_> = insts.iter().map(Instruction::mnemonic).collect();
+        assert_eq!(
+            names,
+            vec!["set_qinput", "hamm_7", "add", "div", "near_search", "row_mv"]
+        );
+    }
+
+    #[test]
+    fn register_file_default_is_empty() {
+        let r = RegisterFile::default();
+        assert!(r.q.is_empty());
+        assert_eq!((r.rst, r.idx), (0, 0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for the pim crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the PIM simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PimError {
+    /// A row or column index exceeded the block geometry.
+    OutOfRange {
+        /// What kind of index overflowed ("row", "column", …).
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        bound: usize,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable constraint description.
+        reason: &'static str,
+    },
+    /// The requested allocation does not fit in the remaining memory.
+    CapacityExceeded {
+        /// Bits requested.
+        requested: usize,
+        /// Bits available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for PimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OutOfRange { what, index, bound } => {
+                write!(f, "{what} index {index} out of range {bound}")
+            }
+            Self::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Self::CapacityExceeded {
+                requested,
+                available,
+            } => write!(f, "requested {requested} bits, only {available} available"),
+        }
+    }
+}
+
+impl Error for PimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_bounds() {
+        let e = PimError::OutOfRange {
+            what: "row",
+            index: 9,
+            bound: 4,
+        };
+        assert_eq!(e.to_string(), "row index 9 out of range 4");
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<PimError>();
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: encode a small dataset, cluster it three ways on the
+//! functional PIM accelerator, and compare against the software
+//! baseline.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dual::baseline::Algorithm;
+use dual::cluster::{cluster_accuracy, euclidean, AgglomerativeClustering, Linkage};
+use dual::core::{DualAccelerator, DualConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A toy dataset: four Gaussian-ish blobs in 4-D.
+    let mut points = Vec::new();
+    let mut truth = Vec::new();
+    let centers = [
+        [0.0, 0.0, 0.0, 0.0],
+        [10.0, 0.0, 5.0, 0.0],
+        [0.0, 10.0, 0.0, 5.0],
+        [10.0, 10.0, 5.0, 5.0],
+    ];
+    for (label, c) in centers.iter().enumerate() {
+        for k in 0..12 {
+            points.push(vec![
+                c[0] + 0.3 * (k % 4) as f64,
+                c[1] + 0.3 * ((k / 4) % 4) as f64,
+                c[2] + 0.2 * (k % 3) as f64,
+                c[3] + 0.1 * k as f64,
+            ]);
+            truth.push(label);
+        }
+    }
+
+    // The DUAL accelerator: HD-Mapper encoding into 512-bit
+    // hypervectors, then in-memory Hamming clustering.
+    let accel = DualAccelerator::new(DualConfig::paper().with_dim(512), 4, 42)?;
+
+    println!("points: {}   clusters: {}\n", points.len(), centers.len());
+    for alg in Algorithm::all() {
+        let outcome = match alg {
+            Algorithm::Hierarchical => accel.fit_hierarchical(&points, 4)?,
+            Algorithm::KMeans => accel.fit_kmeans(&points, 4, 7)?,
+            Algorithm::Dbscan => accel.fit_dbscan(&points, 0.25)?,
+        };
+        println!(
+            "DUAL {:12} accuracy {:.3}   ({} PIM instructions, {:.2} us simulated, {:.2} nJ)",
+            alg.name(),
+            cluster_accuracy(&outcome.labels, &truth),
+            outcome.instructions,
+            outcome.stats.time_ns() / 1000.0,
+            outcome.stats.energy_pj() / 1000.0,
+        );
+    }
+
+    // Software reference for comparison.
+    let sw = AgglomerativeClustering::fit(&points, Linkage::Average, euclidean).cut(4);
+    println!(
+        "\nsoftware hierarchical baseline accuracy {:.3}",
+        cluster_accuracy(&sw, &truth)
+    );
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Integration-test crate for the DUAL workspace.
+//!
+//! The actual tests live in `tests/tests/*.rs` and exercise cross-crate
+//! behaviour: the functional PIM path against the software algorithms,
+//! the analytical models against the paper's headline numbers, and the
+//! encoder/clustering quality pipeline end to end.

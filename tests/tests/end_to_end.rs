@@ -1,0 +1,111 @@
+//! End-to-end pipeline tests: dataset → HD encoding → in-memory
+//! clustering, checked against the pure-software algorithms.
+
+use dual_cluster::{
+    cluster_accuracy, hamming, AgglomerativeClustering, Linkage, NnChainClustering,
+};
+use dual_core::{DualAccelerator, DualConfig};
+use dual_data::SyntheticSpec;
+
+fn demo_dataset(n: usize, m: usize, k: usize) -> dual_data::Dataset {
+    let mut spec = SyntheticSpec::paper("it", n, m, k);
+    spec.separation = 10.0;
+    spec.noise_rate = 0.0;
+    spec.radius_range = (1.0, 2.0);
+    spec.generate(42)
+}
+
+/// Quarter of the median pairwise distance — the bandwidth heuristic
+/// the benches use.
+fn sigma_for(ds: &dual_data::Dataset) -> f64 {
+    let mut d = Vec::new();
+    for i in 0..ds.len() {
+        for j in (i + 1)..ds.len() {
+            d.push(dual_cluster::euclidean(&ds.points[i], &ds.points[j]));
+        }
+    }
+    d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    d[d.len() / 2] * 0.25
+}
+
+fn accel(ds: &dual_data::Dataset) -> DualAccelerator {
+    DualAccelerator::with_sigma(
+        DualConfig::paper().with_dim(256),
+        ds.n_features(),
+        9,
+        sigma_for(ds),
+    )
+    .expect("valid encoder")
+}
+
+#[test]
+fn pim_hamming_distances_match_software_exactly() {
+    let ds = demo_dataset(24, 4, 3);
+    let a = accel(&ds);
+    let encoded = a.encode(&ds.points).expect("encodes");
+    // Run hierarchical through the PIM; rebuild the same matrix in
+    // software and compare the flat clustering (identical inputs ⇒
+    // identical merges).
+    let out = a.fit_hierarchical(&ds.points, 3).expect("runs");
+    let sw = AgglomerativeClustering::fit(&encoded, Linkage::Ward, hamming).cut(3);
+    assert_eq!(out.labels, sw, "PIM and software disagree");
+}
+
+#[test]
+fn pim_dbscan_is_bit_exact_with_software_chain() {
+    let ds = demo_dataset(30, 5, 3);
+    let a = accel(&ds);
+    let encoded = a.encode(&ds.points).expect("encodes");
+    let out = a.fit_dbscan(&ds.points, 0.25).expect("runs");
+    let sw = NnChainClustering::new(0.25_f64 * 256.0)
+        .expect("valid eps")
+        .fit(&encoded, hamming);
+    assert_eq!(out.labels, sw.labels);
+}
+
+#[test]
+fn all_three_algorithms_recover_well_separated_clusters() {
+    let ds = demo_dataset(36, 6, 3);
+    let a = accel(&ds);
+    let hier = a.fit_hierarchical(&ds.points, 3).expect("runs");
+    let km = a.fit_kmeans(&ds.points, 3, 5).expect("runs");
+    let db = a.fit_dbscan(&ds.points, 0.22).expect("runs");
+    for (name, labels) in [("hier", &hier.labels), ("kmeans", &km.labels), ("dbscan", &db.labels)]
+    {
+        let acc = cluster_accuracy(labels, &ds.labels);
+        assert!(acc > 0.9, "{name} accuracy {acc}");
+    }
+}
+
+#[test]
+fn accelerated_runs_report_costs_and_instructions() {
+    let ds = demo_dataset(20, 4, 2);
+    let a = accel(&ds);
+    let out = a.fit_hierarchical(&ds.points, 2).expect("runs");
+    assert!(out.instructions > 0);
+    assert!(out.stats.time_ns() > 0.0);
+    assert!(out.stats.energy_pj() > 0.0);
+    // Hamming dominates the instruction mix: one hamm_7 per 7-bit
+    // window per query.
+    let windows = 256usize.div_ceil(7) as u64;
+    assert_eq!(
+        out.stats.count(dual_pim::Op::HammingWindow),
+        windows * ds.points.len() as u64
+    );
+}
+
+#[test]
+fn encoding_quality_survives_the_full_stack() {
+    // Closer pair of clusters: the encoder must keep them separable.
+    let ds = demo_dataset(40, 8, 4);
+    let a = DualAccelerator::with_sigma(
+        DualConfig::paper().with_dim(1024),
+        8,
+        3,
+        sigma_for(&ds),
+    )
+    .expect("valid");
+    let encoded = a.encode(&ds.points).expect("encodes");
+    let labels = AgglomerativeClustering::fit(&encoded, Linkage::Ward, hamming).cut(4);
+    assert!(cluster_accuracy(&labels, &ds.labels) > 0.9);
+}

@@ -1,0 +1,73 @@
+//! Quality pipeline across crates: encoders × algorithms on the
+//! workload surrogates (small scales so the suite stays fast).
+
+use dual_baseline::Algorithm;
+use dual_bench::{quality, quality_dataset, Representation, BENCH_SEED};
+use dual_data::Workload;
+
+#[test]
+fn hierarchical_hd_tracks_euclidean_baseline() {
+    let ds = quality_dataset(Workload::Sensor, 150);
+    let base = quality(&ds, Algorithm::Hierarchical, Representation::Baseline, BENCH_SEED);
+    let hd = quality(
+        &ds,
+        Algorithm::Hierarchical,
+        Representation::HdMapper { dim: 2000 },
+        BENCH_SEED,
+    );
+    assert!(base > 0.7, "baseline should be competent: {base}");
+    assert!(hd >= base - 0.06, "hd {hd} vs baseline {base}");
+}
+
+#[test]
+fn hd_mapper_beats_lsh_on_magnitude_structured_data() {
+    // The Fig. 10b-d claim, on the MNIST surrogate (which carries
+    // collinear/magnitude cluster structure like real image data).
+    let ds = quality_dataset(Workload::Mnist, 180);
+    let hd = quality(
+        &ds,
+        Algorithm::Hierarchical,
+        Representation::HdMapper { dim: 2000 },
+        BENCH_SEED,
+    );
+    let lsh = quality(
+        &ds,
+        Algorithm::Hierarchical,
+        Representation::Lsh { dim: 2000 },
+        BENCH_SEED,
+    );
+    assert!(hd >= lsh, "hd {hd} < lsh {lsh}");
+}
+
+#[test]
+fn kmeans_binary_quality_is_reasonable() {
+    let ds = quality_dataset(Workload::Facial, 150);
+    let hd = quality(
+        &ds,
+        Algorithm::KMeans,
+        Representation::HdMapper { dim: 2000 },
+        BENCH_SEED,
+    );
+    assert!(hd > 0.6, "binary k-means quality {hd}");
+}
+
+#[test]
+fn dbscan_chain_quality_is_reasonable() {
+    let ds = quality_dataset(Workload::Isolet, 160);
+    let base = quality(&ds, Algorithm::Dbscan, Representation::Baseline, BENCH_SEED);
+    let hd = quality(
+        &ds,
+        Algorithm::Dbscan,
+        Representation::HdMapper { dim: 2000 },
+        BENCH_SEED,
+    );
+    assert!(hd >= base - 0.15, "hd chain {hd} vs baseline {base}");
+}
+
+#[test]
+fn quality_is_deterministic_given_seed() {
+    let ds = quality_dataset(Workload::Gesture, 120);
+    let a = quality(&ds, Algorithm::Hierarchical, Representation::HdMapper { dim: 1000 }, 7);
+    let b = quality(&ds, Algorithm::Hierarchical, Representation::HdMapper { dim: 1000 }, 7);
+    assert_eq!(a, b);
+}
