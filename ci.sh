@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus the full workspace checks this repo holds itself to.
+#
+#   ./ci.sh            # build + tests + clippy
+#   DUAL_THREADS=4 ./ci.sh   # same, with a pinned pool thread count
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1: root package)"
+cargo test -q
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -101,8 +101,8 @@ impl GpuCost {
 ///
 /// * hierarchical — distance build `3n²m/2` FLOPs at `η_h` efficiency
 ///   (the paper reports 28 % core utilization); clustering (min-search
-///   + Lance–Williams updates) `4·n²·log₂n` bytes of irregular matrix
-///   traffic at `β_h` effective bytes/s.
+///   plus Lance–Williams updates) `4·n²·log₂n` bytes of irregular
+///   matrix traffic at `β_h` effective bytes/s.
 /// * k-means — per iteration: assignment streams the data matrix,
 ///   `4nm` bytes at `β_ka`; center update re-reads and reduces it,
 ///   `4nm` bytes at `β_ku`; plus a host-sync residual.

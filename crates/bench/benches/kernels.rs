@@ -2,7 +2,7 @@
 //! in the software simulator are visible.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use dual_cluster::{AgglomerativeClustering, Linkage};
+use dual_cluster::{AgglomerativeClustering, CondensedMatrix, Dbscan, KMeans, Linkage};
 use dual_core::pipeline::hamming_pipeline;
 use dual_core::DualConfig;
 use dual_hdc::{BitVec, Encoder, HdMapper};
@@ -106,6 +106,79 @@ fn bench_pipeline_sim(c: &mut Criterion) {
     });
 }
 
+/// Serial-vs-parallel pairs for every pool-backed kernel. On a
+/// multi-core machine the `*_parallel` variant should win clearly for
+/// n ≥ 2000; on a single core it documents the (small) chunking
+/// overhead. Thread count comes from `DUAL_THREADS` / the core count
+/// (`threads = 0` means "auto").
+fn bench_parallel_pairs(c: &mut Criterion) {
+    // Pairwise condensed distance matrix, n = 2000.
+    let pts: Vec<Vec<f64>> = (0..2000)
+        .map(|i| vec![(i % 37) as f64, (i % 11) as f64, (i % 5) as f64])
+        .collect();
+    c.bench_function("pairwise_condensed_2000pts_serial", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(CondensedMatrix::from_points(
+                &pts,
+                dual_cluster::euclidean,
+            ))
+        })
+    });
+    c.bench_function("pairwise_condensed_2000pts_parallel", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(CondensedMatrix::from_points_parallel(&pts, 0, |a, b| {
+                dual_cluster::euclidean(a, b)
+            }))
+        })
+    });
+
+    // Lloyd's k-means, n = 2000, k = 8, fixed iteration budget.
+    let km_serial = KMeans::new(8).expect("k > 0").max_iters(5).threads(1);
+    let km_parallel = KMeans::new(8).expect("k > 0").max_iters(5).threads(0);
+    c.bench_function("kmeans_2000pts_serial", |bench| {
+        bench.iter(|| std::hint::black_box(km_serial.fit(&pts).expect("n >= k")))
+    });
+    c.bench_function("kmeans_2000pts_parallel", |bench| {
+        bench.iter(|| std::hint::black_box(km_parallel.fit(&pts).expect("n >= k")))
+    });
+
+    // DBSCAN neighbor-list construction, n = 2000.
+    let db = Dbscan::new(2.0, 4).expect("valid params");
+    c.bench_function("dbscan_2000pts_serial", |bench| {
+        bench.iter(|| std::hint::black_box(db.fit(&pts, dual_cluster::euclidean)))
+    });
+    c.bench_function("dbscan_2000pts_parallel", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(db.fit_parallel(&pts, 0, dual_cluster::euclidean))
+        })
+    });
+
+    // Batch Hamming nearest search, 4096 candidates × 2048 bits.
+    let cands: Vec<dual_hdc::Hypervector> = (0..4096)
+        .map(|i| dual_hdc::ops::random_hypervector(2048, i as u64))
+        .collect();
+    let query = dual_hdc::ops::random_hypervector(2048, u64::MAX);
+    c.bench_function("hamming_nearest_4096x2048_serial", |bench| {
+        bench.iter(|| std::hint::black_box(dual_hdc::search::nearest(&query, &cands)))
+    });
+    c.bench_function("hamming_nearest_4096x2048_parallel", |bench| {
+        bench.iter(|| std::hint::black_box(dual_hdc::search::nearest_parallel(&query, &cands, 0)))
+    });
+
+    // Batch encoding through the accelerator front-end, n = 256.
+    let acc = dual_core::DualAccelerator::new(DualConfig::paper().with_dim(1024), 16, 3)
+        .expect("valid encoder");
+    let feats: Vec<Vec<f64>> = (0..256)
+        .map(|i| (0..16).map(|j| ((i * 16 + j) as f64 * 0.13).sin()).collect())
+        .collect();
+    c.bench_function("encode_256x1024_serial", |bench| {
+        bench.iter(|| std::hint::black_box(acc.encode(&feats).expect("valid dims")))
+    });
+    c.bench_function("encode_256x1024_parallel", |bench| {
+        bench.iter(|| std::hint::black_box(acc.encode_parallel(&feats, 0).expect("valid dims")))
+    });
+}
+
 criterion_group!(
     benches,
     bench_hamming,
@@ -115,6 +188,7 @@ criterion_group!(
     bench_nearest_search,
     bench_pipeline_sim,
     bench_cam_search,
-    bench_linkage
+    bench_linkage,
+    bench_parallel_pairs
 );
 criterion_main!(benches);

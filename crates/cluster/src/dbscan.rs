@@ -64,20 +64,62 @@ impl Dbscan {
         F: FnMut(&P, &P) -> f64,
     {
         let n = points.len();
+        let eps = self.eps;
+        self.expand(n, |i| {
+            (0..n)
+                .filter(|&j| j != i && dist(&points[i], &points[j]) <= eps)
+                .collect()
+        })
+    }
+
+    /// Run DBSCAN with per-point neighbor lists built in parallel.
+    ///
+    /// Every `eps`-neighborhood is an independent scan over the points
+    /// (the hardware analogue: each data block searches its rows
+    /// concurrently), so the lists are precomputed by `threads` workers
+    /// — each list in ascending index order, exactly as the serial
+    /// `region` query produces it — and the cluster-expansion BFS then
+    /// runs unchanged. Labels are therefore **bit-identical** to
+    /// [`Dbscan::fit`] for every thread count (`0` = auto /
+    /// `DUAL_THREADS`).
+    pub fn fit_parallel<P, F>(&self, points: &[P], threads: usize, dist: F) -> DbscanResult
+    where
+        P: Sync,
+        F: Fn(&P, &P) -> f64 + Sync,
+    {
+        let n = points.len();
+        let eps = self.eps;
+        let neighbors: Vec<Vec<usize>> =
+            dual_pool::par_map_chunks(points, threads, |offset, chunk| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(local, p)| {
+                        let i = offset + local;
+                        (0..n)
+                            .filter(|&j| j != i && dist(p, &points[j]) <= eps)
+                            .collect()
+                    })
+                    .collect()
+            });
+        self.expand(n, |i| neighbors[i].clone())
+    }
+
+    /// Shared cluster-expansion BFS: `region(i)` must return `i`'s
+    /// `eps`-neighborhood in ascending index order.
+    fn expand<F>(&self, n: usize, mut region: F) -> DbscanResult
+    where
+        F: FnMut(usize) -> Vec<usize>,
+    {
         let mut labels = vec![NOISE; n];
         let mut visited = vec![false; n];
         let mut n_clusters = 0usize;
-        let region = |i: usize, dist: &mut F| -> Vec<usize> {
-            (0..n)
-                .filter(|&j| j != i && dist(&points[i], &points[j]) <= self.eps)
-                .collect()
-        };
         for i in 0..n {
             if visited[i] {
                 continue;
             }
             visited[i] = true;
-            let mut neighbors = region(i, &mut dist);
+            let mut neighbors = region(i);
             if neighbors.len() + 1 < self.min_pts {
                 continue; // noise (may be adopted as border later)
             }
@@ -93,7 +135,7 @@ impl Dbscan {
                     continue;
                 }
                 visited[j] = true;
-                neighbors = region(j, &mut dist);
+                neighbors = region(j);
                 if neighbors.len() + 1 >= self.min_pts {
                     for &k in &neighbors {
                         if !visited[k] || labels[k] == NOISE {

@@ -82,7 +82,7 @@ impl Dendrogram {
         }
         // Walk the merges with a union-find, stopping when i and j join.
         let mut parent: Vec<usize> = (0..self.n + self.merges.len()).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -107,7 +107,7 @@ impl Dendrogram {
             return Vec::new();
         }
         let mut parent: Vec<usize> = (0..self.n + applied).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -226,10 +226,7 @@ impl AgglomerativeClustering {
         // Cluster id (dendrogram convention) currently living at each slot.
         let mut ids: Vec<usize> = (0..n).collect();
         // Nearest active neighbor cache.
-        let mut nn: Vec<usize> = vec![usize::MAX; n];
-        for i in 0..n {
-            nn[i] = nearest(&d, &active, n, i);
-        }
+        let mut nn: Vec<usize> = (0..n).map(|i| nearest(&d, &active, n, i)).collect();
         let mut merges = Vec::with_capacity(n.saturating_sub(1));
         for step in 0..n.saturating_sub(1) {
             // Globally closest pair = min over slots of slot->nn distance.

@@ -16,6 +16,7 @@ pub struct KMeans {
     max_iters: usize,
     tol: f64,
     seed: u64,
+    threads: usize,
 }
 
 /// Outcome of a [`KMeans::fit`].
@@ -49,6 +50,7 @@ impl KMeans {
             max_iters: 100,
             tol: 1e-6,
             seed: 0,
+            threads: 1,
         })
     }
 
@@ -73,6 +75,19 @@ impl KMeans {
         self
     }
 
+    /// Worker threads for the assignment and centroid-accumulation
+    /// steps (default 1 — fully serial; `0` means "auto", honouring the
+    /// `DUAL_THREADS` override). Results are **bit-identical** for every
+    /// thread count: assignments are per-point independent and centroid
+    /// sums are accumulated over fixed 1024-point blocks folded in block
+    /// order, so the floating-point summation order never depends on the
+    /// thread count (see [`dual_pool::fixed_blocks`]).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Run Lloyd's algorithm.
     ///
     /// # Errors
@@ -94,17 +109,39 @@ impl KMeans {
         let mut iterations = 0;
         for iter in 0..self.max_iters.max(1) {
             iterations = iter + 1;
-            // Assignment step.
-            for (p, lbl) in points.iter().zip(labels.iter_mut()) {
-                *lbl = argmin_center(p, &centers);
-            }
-            // Update step.
+            // Assignment step: per-point independent, so parallel chunks
+            // write disjoint label slices and the result cannot depend on
+            // the thread count.
+            assign_labels(points, &centers, &mut labels, self.threads);
+            // Update step: per-fixed-block partial (sums, counts) folded
+            // in block order — the float summation order is a function of
+            // `n` alone, never of the thread count.
+            let partials = dual_pool::par_map_fixed(
+                dual_pool::fixed_blocks(n),
+                self.threads,
+                |range| {
+                    let mut sums = vec![vec![0.0f64; m]; self.k];
+                    let mut counts = vec![0usize; self.k];
+                    for idx in range {
+                        let lbl = labels[idx];
+                        counts[lbl] += 1;
+                        for (s, x) in sums[lbl].iter_mut().zip(&points[idx]) {
+                            *s += x;
+                        }
+                    }
+                    (sums, counts)
+                },
+            );
             let mut sums = vec![vec![0.0f64; m]; self.k];
             let mut counts = vec![0usize; self.k];
-            for (p, &lbl) in points.iter().zip(&labels) {
-                counts[lbl] += 1;
-                for (s, x) in sums[lbl].iter_mut().zip(p) {
-                    *s += x;
+            for (part_sums, part_counts) in partials {
+                for (acc, part) in sums.iter_mut().zip(&part_sums) {
+                    for (s, x) in acc.iter_mut().zip(part) {
+                        *s += x;
+                    }
+                }
+                for (c, x) in counts.iter_mut().zip(&part_counts) {
+                    *c += x;
                 }
             }
             let mut movement = 0.0;
@@ -125,14 +162,18 @@ impl KMeans {
             }
         }
         // Final assignment against the converged centers.
-        for (p, lbl) in points.iter().zip(labels.iter_mut()) {
-            *lbl = argmin_center(p, &centers);
-        }
-        let inertia = points
-            .iter()
-            .zip(&labels)
-            .map(|(p, &l)| squared_euclidean(p, &centers[l]))
-            .sum();
+        assign_labels(points, &centers, &mut labels, self.threads);
+        let inertia = dual_pool::par_map_fixed(
+            dual_pool::fixed_blocks(n),
+            self.threads,
+            |range| {
+                range
+                    .map(|i| squared_euclidean(&points[i], &centers[labels[i]]))
+                    .sum::<f64>()
+            },
+        )
+        .into_iter()
+        .sum();
         Ok(KMeansResult {
             labels,
             centers,
@@ -140,6 +181,17 @@ impl KMeans {
             inertia,
         })
     }
+}
+
+/// Parallel assignment step: chunked over points, each worker writing a
+/// disjoint slice of `labels`. Ties break toward the lowest center index
+/// in both serial and parallel paths.
+fn assign_labels(points: &[Vec<f64>], centers: &[Vec<f64>], labels: &mut [usize], threads: usize) {
+    dual_pool::par_fill(labels, threads, |offset, chunk| {
+        for (lbl, p) in chunk.iter_mut().zip(&points[offset..]) {
+            *lbl = argmin_center(p, centers);
+        }
+    });
 }
 
 fn argmin_center(p: &Vec<f64>, centers: &[Vec<f64>]) -> usize {
@@ -198,6 +250,7 @@ pub struct HammingKMeans {
     /// Stop when total center bit flips fall at or below this count.
     flip_threshold: usize,
     seed: u64,
+    threads: usize,
 }
 
 /// Outcome of a [`HammingKMeans::fit`].
@@ -231,6 +284,7 @@ impl HammingKMeans {
             max_iters: 50,
             flip_threshold: 0,
             seed: 0,
+            threads: 1,
         })
     }
 
@@ -253,6 +307,18 @@ impl HammingKMeans {
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Worker threads for the assignment and majority-vote update steps
+    /// (default 1; `0` = auto, honouring `DUAL_THREADS`). Hamming
+    /// distances and majority votes are integer/bit operations, so every
+    /// thread count produces bit-identical labels and centers; the RNG
+    /// used to reseed empty clusters is only ever drawn from the serial
+    /// part of the loop, in cluster order.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -305,24 +371,34 @@ impl HammingKMeans {
         let mut iterations = 0;
         for iter in 0..self.max_iters.max(1) {
             iterations = iter + 1;
-            for (p, lbl) in points.iter().zip(labels.iter_mut()) {
-                *lbl = argmin_hamming(p, &centers);
-            }
+            assign_hamming_labels(points, &centers, &mut labels, self.threads);
+            // Majority votes are exact bit operations, so they can run
+            // one-cluster-per-task in parallel; empty-cluster reseeds
+            // draw from the RNG strictly serially, in cluster order.
+            let votes = dual_pool::par_map_chunks(
+                &(0..self.k).collect::<Vec<usize>>(),
+                self.threads,
+                |_, clusters| {
+                    clusters
+                        .iter()
+                        .map(|&c| {
+                            let members: Vec<&Hypervector> = points
+                                .iter()
+                                .zip(&labels)
+                                .filter(|(_, &l)| l == c)
+                                .map(|(p, _)| p)
+                                .collect();
+                            majority_bundle(&members).ok()
+                        })
+                        .collect()
+                },
+            );
             let mut flips = 0usize;
-            for c in 0..self.k {
-                let members: Vec<&Hypervector> = points
-                    .iter()
-                    .zip(&labels)
-                    .filter(|(_, &l)| l == c)
-                    .map(|(p, _)| p)
-                    .collect();
-                if members.is_empty() {
-                    let idx = rng.gen_range(0..n);
-                    flips += centers[c].hamming(&points[idx]);
-                    centers[c] = points[idx].clone();
-                    continue;
-                }
-                let new = majority_bundle(&members).expect("members non-empty, equal dims");
+            for (c, vote) in votes.into_iter().enumerate() {
+                let new = match vote {
+                    Some(new) => new,
+                    None => points[rng.gen_range(0..n)].clone(),
+                };
                 flips += centers[c].hamming(&new);
                 centers[c] = new;
             }
@@ -330,14 +406,18 @@ impl HammingKMeans {
                 break;
             }
         }
-        for (p, lbl) in points.iter().zip(labels.iter_mut()) {
-            *lbl = argmin_hamming(p, &centers);
-        }
-        let inertia = points
-            .iter()
-            .zip(&labels)
-            .map(|(p, &l)| p.hamming(&centers[l]))
-            .sum();
+        assign_hamming_labels(points, &centers, &mut labels, self.threads);
+        let inertia = dual_pool::par_map_fixed(
+            dual_pool::fixed_blocks(n),
+            self.threads,
+            |range| {
+                range
+                    .map(|i| points[i].hamming(&centers[labels[i]]))
+                    .sum::<usize>()
+            },
+        )
+        .into_iter()
+        .sum();
         Ok(HammingKMeansResult {
             labels,
             centers,
@@ -347,17 +427,24 @@ impl HammingKMeans {
     }
 }
 
-fn argmin_hamming(p: &Hypervector, centers: &[Hypervector]) -> usize {
-    let mut best = 0;
-    let mut best_d = usize::MAX;
-    for (c, center) in centers.iter().enumerate() {
-        let d = p.hamming(center);
-        if d < best_d {
-            best_d = d;
-            best = c;
+/// Parallel Hamming assignment step, mirroring [`assign_labels`].
+fn assign_hamming_labels(
+    points: &[Hypervector],
+    centers: &[Hypervector],
+    labels: &mut [usize],
+    threads: usize,
+) {
+    dual_pool::par_fill(labels, threads, |offset, chunk| {
+        for (lbl, p) in chunk.iter_mut().zip(&points[offset..]) {
+            *lbl = argmin_hamming(p, centers);
         }
-    }
-    best
+    });
+}
+
+fn argmin_hamming(p: &Hypervector, centers: &[Hypervector]) -> usize {
+    // Word-level-popcount nearest search shared with the accelerator;
+    // ties break toward the lowest center index.
+    dual_hdc::search::nearest(p, centers).map_or(0, |(i, _)| i)
 }
 
 #[cfg(test)]

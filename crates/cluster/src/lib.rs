@@ -60,6 +60,7 @@ use dual_hdc::Hypervector;
 ///
 /// Panics if the slice lengths differ.
 #[must_use]
+#[allow(clippy::ptr_arg)] // must be callable as FnMut(&Vec<f64>, &Vec<f64>)
 pub fn euclidean(a: &Vec<f64>, b: &Vec<f64>) -> f64 {
     squared_euclidean(a, b).sqrt()
 }
@@ -71,6 +72,7 @@ pub fn euclidean(a: &Vec<f64>, b: &Vec<f64>) -> f64 {
 ///
 /// Panics if the slice lengths differ.
 #[must_use]
+#[allow(clippy::ptr_arg)] // must be callable as FnMut(&Vec<f64>, &Vec<f64>)
 pub fn squared_euclidean(a: &Vec<f64>, b: &Vec<f64>) -> f64 {
     assert_eq!(a.len(), b.len(), "dimension mismatch");
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()

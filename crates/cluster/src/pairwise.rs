@@ -41,6 +41,49 @@ impl CondensedMatrix {
         Self { n, data }
     }
 
+    /// Build from `n` points and a distance function, splitting the
+    /// condensed upper triangle into balanced contiguous ranges that are
+    /// filled by `threads` scoped workers writing disjoint slices.
+    ///
+    /// This models DUAL's row-parallel distance-block fill: every data
+    /// block computes its share of the pairwise Hamming distances
+    /// independently (§V-B). `threads == 0` means "auto" (see
+    /// [`dual_pool::resolve_threads`]); the result is **bit-identical**
+    /// to [`CondensedMatrix::from_points`] for every thread count
+    /// because each entry is computed exactly once, in place, from the
+    /// same `(i, j)` pair — there is no reduction step at all.
+    ///
+    /// ```rust
+    /// use dual_cluster::CondensedMatrix;
+    ///
+    /// let pts: Vec<f64> = (0..10).map(f64::from).collect();
+    /// let serial = CondensedMatrix::from_points(&pts, |a, b| (a - b).abs());
+    /// for threads in [0, 1, 2, 3, 8] {
+    ///     let par = CondensedMatrix::from_points_parallel(&pts, threads, |a, b| (a - b).abs());
+    ///     assert_eq!(par, serial);
+    /// }
+    /// ```
+    pub fn from_points_parallel<P, F>(points: &[P], threads: usize, dist: F) -> Self
+    where
+        P: Sync,
+        F: Fn(&P, &P) -> f64 + Sync,
+    {
+        let n = points.len();
+        let mut data = vec![0.0_f64; n * n.saturating_sub(1) / 2];
+        dual_pool::par_fill(&mut data, threads, |offset, slice| {
+            let (mut i, mut j) = pair_at(n, offset);
+            for out in slice.iter_mut() {
+                *out = dist(&points[i], &points[j]);
+                j += 1;
+                if j == n {
+                    i += 1;
+                    j = i + 1;
+                }
+            }
+        });
+        Self { n, data }
+    }
+
     /// Build an all-zero matrix over `n` points (useful as a sink the
     /// simulator writes into).
     #[must_use]
@@ -111,6 +154,23 @@ impl CondensedMatrix {
         // Row i starts after sum_{r<i} (n-1-r) entries.
         i * (2 * self.n - i - 1) / 2 + (j - i - 1)
     }
+}
+
+/// Inverse of the condensed index: map linear offset `k` back to the
+/// `(i, j)` pair (`i < j`) it stores, via binary search over row starts.
+fn pair_at(n: usize, k: usize) -> (usize, usize) {
+    debug_assert!(k < n * n.saturating_sub(1) / 2);
+    let row_start = |i: usize| i * (2 * n - i - 1) / 2;
+    let (mut lo, mut hi) = (0_usize, n - 1);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if row_start(mid) <= k {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    (lo, lo + 1 + (k - row_start(lo)))
 }
 
 #[cfg(test)]

@@ -108,7 +108,12 @@ impl DualAccelerator {
     }
 
     /// Parallel encoding across OS threads (the software analogue of
-    /// the chip replicating encoder pipelines over its blocks, §V-A).
+    /// the chip replicating encoder pipelines over its blocks, §V-A),
+    /// built on the workspace-wide [`dual_pool`] chunking utility.
+    ///
+    /// Deterministic: the output is identical to [`DualAccelerator::encode`]
+    /// for every `threads` value, including the degenerate `0`
+    /// (auto-resolved via `DUAL_THREADS`), `1`, and `> points.len()`.
     ///
     /// # Errors
     ///
@@ -118,26 +123,16 @@ impl DualAccelerator {
         points: &[Vec<f64>],
         threads: usize,
     ) -> Result<Vec<Hypervector>, dual_hdc::HdcError> {
-        let threads = threads.clamp(1, points.len().max(1));
-        let chunk = points.len().div_ceil(threads);
+        let threads = dual_pool::resolve_threads(threads).clamp(1, points.len().max(1));
         if threads <= 1 || points.len() < 2 {
             return self.encode(points);
         }
-        let results: Vec<Result<Vec<Hypervector>, dual_hdc::HdcError>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = points
-                    .chunks(chunk)
-                    .map(|part| scope.spawn(move |_| self.mapper.encode_batch(part)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("encoder threads do not panic"))
-                    .collect()
-            })
-            .expect("scope does not panic");
+        let parts = dual_pool::par_map_ranges(points.len(), threads, |range| {
+            self.mapper.encode_batch(&points[range])
+        });
         let mut out = Vec::with_capacity(points.len());
-        for r in results {
-            out.extend(r?);
+        for part in parts {
+            out.extend(part?);
         }
         Ok(out)
     }
@@ -185,13 +180,13 @@ impl DualAccelerator {
         self.load(&mut rt, &refs, &encoded)?;
         // Pairwise Hamming, one row-parallel query per point (Fig 6, A).
         let mut matrix = CondensedMatrix::zeros(n);
-        for i in 0..n {
-            let query: Vec<bool> = encoded[i].bits().iter().collect();
+        for (i, hv) in encoded.iter().enumerate() {
+            let query: Vec<bool> = hv.bits().iter().collect();
             let d = rt.hamming(&query, &refs)?;
             let row = rt.read_values(&d)?;
             rt.free(&d)?;
-            for j in (i + 1)..n {
-                matrix.set(i, j, row[j] as f64);
+            for (j, &rj) in row.iter().enumerate().skip(i + 1) {
+                matrix.set(i, j, rj as f64);
             }
         }
         let model = AgglomerativeClustering::fit_precomputed(&matrix, linkage);
@@ -233,21 +228,19 @@ impl DualAccelerator {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(&mut rng);
-        let mut center_idx = vec![order[0]];
-        while center_idx.len() < k.min(n) {
+        let mut centers: Vec<Hypervector> = vec![encoded[order[0]].clone()];
+        while centers.len() < k.min(n) {
+            // "Distance to the chosen set" is a nearest search over the
+            // centers picked so far — the same word-level-popcount
+            // kernel the software clustering layer uses
+            // (`dual_hdc::search`).
             let far = (0..n)
                 .max_by_key(|&i| {
-                    center_idx
-                        .iter()
-                        .map(|&c| encoded[i].hamming(&encoded[c]))
-                        .min()
-                        .unwrap_or(0)
+                    dual_hdc::search::nearest(&encoded[i], &centers).map_or(0, |(_, d)| d)
                 })
                 .expect("n > 0");
-            center_idx.push(far);
+            centers.push(encoded[far].clone());
         }
-        let mut centers: Vec<Hypervector> =
-            center_idx.iter().map(|&i| encoded[i].clone()).collect();
         let mut labels = vec![0usize; n];
         for _ in 0..self.config.kmeans_iters {
             // Assignment: k row-parallel Hamming queries into distance
@@ -466,7 +459,7 @@ mod tests {
         // encoded points — results must agree exactly (the PIM path is
         // bit-exact).
         let encoded = a.encode(&pts).unwrap();
-        let eps_bits = (0.2 * 512.0) as f64;
+        let eps_bits = 0.2_f64 * 512.0;
         let sw = NnChainClustering::new(eps_bits.max(1.0))
             .unwrap()
             .fit(&encoded, hamming);

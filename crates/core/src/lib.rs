@@ -47,6 +47,14 @@ mod perf;
 mod pim_encoder;
 pub mod pipeline;
 
+/// Deterministic scoped-thread chunking — the parallel execution layer
+/// the workspace's hot kernels run on. Re-export of [`dual_pool`]; see
+/// that crate for the determinism contract (`bit-identical results for
+/// any thread count`) and the `DUAL_THREADS` override.
+pub mod pool {
+    pub use dual_pool::*;
+}
+
 pub use accelerator::{DualAccelerator, DualClusteringOutcome};
 pub use config::DualConfig;
 pub use parallel::{chip_scaling_speedup, replication_speedup, ScalingModel};

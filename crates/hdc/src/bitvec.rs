@@ -59,12 +59,12 @@ impl BitVec {
                 cur |= 1 << (len % WORD_BITS);
             }
             len += 1;
-            if len % WORD_BITS == 0 {
+            if len.is_multiple_of(WORD_BITS) {
                 words.push(cur);
                 cur = 0;
             }
         }
-        if len % WORD_BITS != 0 {
+        if !len.is_multiple_of(WORD_BITS) {
             words.push(cur);
         }
         Self { words, len }
@@ -190,7 +190,7 @@ impl BitVec {
     /// Panics if `width == 0` or `width > 16`.
     #[must_use]
     pub fn windows(&self, width: usize) -> Windows<'_> {
-        assert!(width >= 1 && width <= 16, "window width must be 1..=16");
+        assert!((1..=16).contains(&width), "window width must be 1..=16");
         Windows {
             vec: self,
             width,

@@ -260,7 +260,7 @@ mod tests {
         fn prop_majority_of_identical_is_identity(bits in proptest::collection::vec(any::<bool>(), 1..128),
                                                   copies in 1usize..5) {
             let h = hv(&bits);
-            let refs: Vec<&Hypervector> = std::iter::repeat(&h).take(copies).collect();
+            let refs: Vec<&Hypervector> = std::iter::repeat_n(&h, copies).collect();
             let m = majority_bundle(&refs).unwrap();
             prop_assert_eq!(m, h);
         }

@@ -41,6 +41,7 @@ mod error;
 mod hypervector;
 mod lsh;
 pub mod ops;
+pub mod search;
 
 pub use bitvec::{BitVec, Windows};
 pub use encoder::{CosineMode, HdMapper, HdMapperBuilder};
@@ -105,7 +106,7 @@ pub fn estimate_dimension(n_points: usize, n_clusters: usize) -> usize {
     let d = raw.ceil() as usize;
     // Round up to a byte multiple so bit-packing wastes nothing.
     let d = d.max(1000);
-    (d + 7) / 8 * 8
+    d.div_ceil(8) * 8
 }
 
 #[cfg(test)]

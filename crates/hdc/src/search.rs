@@ -1,0 +1,182 @@
+//! Batch Hamming search over hypervector sets — the software analogue
+//! of DUAL's row-parallel nearest search (§V-C).
+//!
+//! The hardware compares a broadcast query row against every stored row
+//! at once and bit-serially selects the minimum; here the same queries
+//! are answered with word-level XOR + popcount over the packed `u64`
+//! storage (see [`crate::BitVec::hamming`]) and, optionally, chunked
+//! across scoped worker threads.
+//!
+//! # Determinism contract
+//!
+//! Every `*_parallel` function is **bit-identical** to its serial
+//! counterpart for any thread count, including `0` ("auto", honouring
+//! the `DUAL_THREADS` environment override — see
+//! [`dual_pool::resolve_threads`]):
+//!
+//! * [`nearest_parallel`] folds per-chunk winners in chunk order, so
+//!   ties break toward the lowest candidate index exactly as the serial
+//!   scan does.
+//! * [`top_k_parallel`] merges per-chunk top-`k` lists by the same
+//!   `(distance, index)` total order [`top_k`] sorts by.
+
+use crate::Hypervector;
+
+/// Index and Hamming distance of the candidate nearest to `query`,
+/// scanning serially; ties break toward the lowest index. Returns
+/// `None` on an empty candidate set.
+///
+/// # Panics
+///
+/// Panics when a candidate's dimensionality differs from the query's
+/// (the same contract as [`Hypervector::hamming`]).
+///
+/// ```rust
+/// use dual_hdc::{search, BitVec, Hypervector};
+///
+/// let q = Hypervector::from_bitvec(BitVec::zeros(64));
+/// let far = Hypervector::from_bitvec(BitVec::ones(64));
+/// let near = q.clone();
+/// assert_eq!(search::nearest(&q, &[far, near]), Some((1, 0)));
+/// ```
+#[must_use]
+pub fn nearest(query: &Hypervector, candidates: &[Hypervector]) -> Option<(usize, usize)> {
+    let mut best: Option<(usize, usize)> = None;
+    for (i, c) in candidates.iter().enumerate() {
+        let d = query.hamming(c);
+        if best.is_none_or(|(_, bd)| d < bd) {
+            best = Some((i, d));
+        }
+    }
+    best
+}
+
+/// Parallel [`nearest`]: candidates are scanned in contiguous chunks by
+/// `threads` workers and the per-chunk winners folded in chunk order.
+/// Bit-identical to the serial scan for every thread count.
+#[must_use]
+pub fn nearest_parallel(
+    query: &Hypervector,
+    candidates: &[Hypervector],
+    threads: usize,
+) -> Option<(usize, usize)> {
+    let chunk_best = dual_pool::par_map_chunks(candidates, threads, |offset, chunk| {
+        match nearest(query, chunk) {
+            Some((i, d)) => vec![(offset + i, d)],
+            None => Vec::new(),
+        }
+    });
+    let mut best: Option<(usize, usize)> = None;
+    for (i, d) in chunk_best {
+        if best.is_none_or(|(_, bd)| d < bd) {
+            best = Some((i, d));
+        }
+    }
+    best
+}
+
+/// The `k` candidates nearest to `query`, sorted by `(distance, index)`
+/// ascending — the index component makes the order total, so equal
+/// distances resolve toward earlier candidates. Returns fewer than `k`
+/// entries when the candidate set is smaller.
+///
+/// ```rust
+/// use dual_hdc::{search, BitVec, Hypervector};
+///
+/// let q = Hypervector::from_bitvec(BitVec::zeros(8));
+/// let mk = |ones: &[usize]| {
+///     let mut b = BitVec::zeros(8);
+///     for &i in ones { b.set(i, true); }
+///     Hypervector::from_bitvec(b)
+/// };
+/// let pool = [mk(&[0, 1, 2]), mk(&[0]), mk(&[0, 1])];
+/// assert_eq!(search::top_k(&q, &pool, 2), vec![(1, 1), (2, 2)]);
+/// ```
+#[must_use]
+pub fn top_k(query: &Hypervector, candidates: &[Hypervector], k: usize) -> Vec<(usize, usize)> {
+    let mut all: Vec<(usize, usize)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, query.hamming(c)))
+        .collect();
+    all.sort_by_key(|&(i, d)| (d, i));
+    all.truncate(k);
+    all
+}
+
+/// Parallel [`top_k`]: per-chunk top-`k` lists merged under the same
+/// `(distance, index)` total order. Bit-identical to the serial result
+/// for every thread count.
+#[must_use]
+pub fn top_k_parallel(
+    query: &Hypervector,
+    candidates: &[Hypervector],
+    k: usize,
+    threads: usize,
+) -> Vec<(usize, usize)> {
+    let mut merged: Vec<(usize, usize)> =
+        dual_pool::par_map_chunks(candidates, threads, |offset, chunk| {
+            top_k(query, chunk, k)
+                .into_iter()
+                .map(|(i, d)| (offset + i, d))
+                .collect()
+        });
+    merged.sort_by_key(|&(i, d)| (d, i));
+    merged.truncate(k);
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::random_hypervector;
+
+    fn pool(n: usize, dim: usize, seed: u64) -> Vec<Hypervector> {
+        (0..n)
+            .map(|i| random_hypervector(dim, seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect()
+    }
+
+    #[test]
+    fn nearest_empty_is_none() {
+        let q = Hypervector::zeros(32);
+        assert_eq!(nearest(&q, &[]), None);
+        assert_eq!(nearest_parallel(&q, &[], 4), None);
+    }
+
+    #[test]
+    fn nearest_ties_break_low_index() {
+        let q = Hypervector::zeros(16);
+        let cands = vec![q.clone(), q.clone(), q.clone()];
+        assert_eq!(nearest(&q, &cands), Some((0, 0)));
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(nearest_parallel(&q, &cands, threads), Some((0, 0)));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_all_thread_counts() {
+        for n in [0usize, 1, 2, 63, 64, 65] {
+            let cands = pool(n, 256, 7);
+            let q = Hypervector::zeros(256);
+            let want_nearest = nearest(&q, &cands);
+            let want_top = top_k(&q, &cands, 5);
+            for threads in [0usize, 1, 2, 3, 8] {
+                assert_eq!(nearest_parallel(&q, &cands, threads), want_nearest);
+                assert_eq!(top_k_parallel(&q, &cands, 5, threads), want_top);
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_is_sorted_prefix_of_full_ranking() {
+        let cands = pool(40, 128, 11);
+        let q = Hypervector::zeros(128);
+        let full = top_k(&q, &cands, cands.len());
+        assert_eq!(full.len(), 40);
+        for k in [0usize, 1, 3, 40, 100] {
+            let got = top_k(&q, &cands, k);
+            assert_eq!(got, full[..k.min(40)].to_vec());
+        }
+    }
+}

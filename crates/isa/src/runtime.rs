@@ -241,6 +241,7 @@ impl Runtime {
         let mut dists = Vec::with_capacity(refs.len());
         for row in 0..refs.len() {
             let mut d = 0u64;
+            #[allow(clippy::needless_range_loop)] // bit indexes both query and the stored row
             for bit in 0..refs.bits() {
                 if self.get_bit(&al, refs, row, bit)? != query[bit] {
                     d += 1;
@@ -462,6 +463,7 @@ impl Runtime {
                 let start = w * 7;
                 let end = (start + 7).min(refs.bits());
                 let mut count = 0u64;
+                #[allow(clippy::needless_range_loop)] // bit indexes both query and the stored row
                 for bit in start..end {
                     if self.get_bit(&al, refs, row, bit)? != query[bit] {
                         count += 1;
@@ -483,6 +485,7 @@ impl Runtime {
                     let start = w * 7;
                     let end = (start + 7).min(refs.bits());
                     let mut count = 0u64;
+                    #[allow(clippy::needless_range_loop)] // bit indexes both query and the stored row
                     for bit in start..end {
                         if self.get_bit(&al, refs, row, bit)? != query[bit] {
                             count += 1;
@@ -533,7 +536,7 @@ impl Runtime {
         // Gather current partial values (3-bit groups).
         let mut sums: Vec<Vec<u64>> = vec![Vec::with_capacity(w); partials.len()];
         let al = self.allocation(partials)?;
-        for row in 0..partials.len() {
+        for (row, sum) in sums.iter_mut().enumerate() {
             for g in 0..w {
                 let mut v = 0u64;
                 for b in 0..3 {
@@ -541,7 +544,7 @@ impl Runtime {
                         v |= 1 << b;
                     }
                 }
-                sums[row].push(v);
+                sum.push(v);
             }
         }
         // Tree reduction, pricing one row-parallel add per pair per level

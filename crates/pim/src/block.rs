@@ -283,7 +283,7 @@ mod tests {
         let mut b = MemoryBlock::new(2, 32);
         let stored: Vec<bool> = (0..20).map(|i| i % 2 == 0).collect();
         b.write_row_bits(0, &stored);
-        b.write_row_bits(1, &vec![false; 20]);
+        b.write_row_bits(1, &[false; 20]);
         let query: Vec<bool> = (0..20).map(|i| i % 4 == 0).collect();
         let (d, windows) = b.cam_hamming_distance(&query);
         assert_eq!(windows, 3); // 7 + 7 + 6

@@ -226,7 +226,7 @@ pub fn nearest_search(
     stage_bits: u32,
 ) -> Option<(usize, u64)> {
     assert_eq!(values.len(), active.len(), "active mask length mismatch");
-    assert!(stage_bits >= 1 && stage_bits <= 8, "stage width 1..=8");
+    assert!((1..=8).contains(&stage_bits), "stage width 1..=8");
     let mut alive: Vec<usize> = (0..values.len()).filter(|&i| active[i]).collect();
     if alive.is_empty() {
         return None;
@@ -242,8 +242,7 @@ pub fn nearest_search(
         // group scores 2^k (the voltage ladder).
         let score = |v: u64| -> u64 {
             let nib = (v >> lo) & mask;
-            let matches = !(nib ^ q_nib) & mask;
-            matches
+            !(nib ^ q_nib) & mask
         };
         let best = alive.iter().map(|&i| score(values[i])).max().expect("alive non-empty");
         alive.retain(|&i| score(values[i]) == best);

@@ -489,11 +489,11 @@ impl NorEngine {
             }
             // Propagate the carry through the rest of the accumulator
             // (half-add against a zero column).
-            for k in (j + n)..out.len() {
+            for &acc in &out[(j + n)..] {
                 let zero = tmp_scr;
                 self.write_col_const(zero, false)?;
-                self.full_adder(out[k], zero, c_in, tmp_sum, c_out, scratch)?;
-                self.copy(out[k], tmp_sum, zero)?;
+                self.full_adder(acc, zero, c_in, tmp_sum, c_out, scratch)?;
+                self.copy(acc, tmp_sum, zero)?;
                 std::mem::swap(&mut c_in, &mut c_out);
             }
         }

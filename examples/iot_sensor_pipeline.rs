@@ -73,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 continue; // fragmented — skip
             }
             let score = normalized_mutual_information(&run.labels, &ds.labels);
-            if best.as_ref().map_or(true, |(s, ..)| score > *s) {
+            if best.as_ref().is_none_or(|(s, ..)| score > *s) {
                 best = Some((score, sigma_mult, clusters, run));
             }
         }

@@ -1,0 +1,30 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace annotates its public model types with
+//! `#[derive(Serialize, Deserialize)]` so a wire format can be layered
+//! on later, but no code in-tree performs serialization and crates.io
+//! is unreachable from the build environment. This crate provides the
+//! two trait names as *markers* plus no-op derives
+//! ([`serde_derive`]), keeping the annotations compiling without
+//! pulling in the real dependency.
+//!
+//! If real serialization is ever needed, delete `shims/serde*` and
+//! point the workspace dependency back at crates.io — the call sites
+//! are already written against the real API shape.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    pub use super::DeserializeOwned;
+}

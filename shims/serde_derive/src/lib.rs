@@ -1,0 +1,59 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline `serde`
+//! stand-in.
+//!
+//! The workspace derives serde traits on its public model types so a
+//! future wire format can be added without churn, but nothing in-tree
+//! serializes yet and crates.io is unreachable from the build
+//! environment. These derives emit a marker-trait impl and nothing
+//! else, keeping every `#[derive(Serialize, Deserialize)]` compiling
+//! unchanged.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the identifier that follows the `struct`/`enum` keyword and
+/// emit `impl <Trait> for <Ident> {}` with any leading generics left
+/// off (the marker traits are implemented only for fully concrete
+/// types; every derived type in this workspace is non-generic).
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let mut ident: Option<String> = None;
+    let mut generics = false;
+    let mut saw_kw = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(i) => {
+                let s = i.to_string();
+                if saw_kw && ident.is_none() {
+                    ident = Some(s);
+                } else if s == "struct" || s == "enum" || s == "union" {
+                    saw_kw = true;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' && ident.is_some() => {
+                generics = true;
+                break;
+            }
+            TokenTree::Group(_) if ident.is_some() => break,
+            _ => {}
+        }
+    }
+    match (ident, generics) {
+        (Some(name), false) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        // Generic type or unrecognized shape: emit nothing rather than
+        // an impl with missing parameters.
+        _ => TokenStream::new(),
+    }
+}
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize<'_>")
+}

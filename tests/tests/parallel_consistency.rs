@@ -1,0 +1,197 @@
+//! Differential suite for the deterministic parallel kernel layer.
+//!
+//! Every parallel kernel in the workspace promises **bit-identical**
+//! results to its serial counterpart for any thread count. These tests
+//! enforce that promise with exact comparisons — `f64::to_bits`
+//! equality for floating-point outputs, `==` for integer/bit outputs —
+//! across the degenerate and boundary thread counts {0 (auto), 1, 2,
+//! 3, 8} and dataset sizes around chunking edges {0, 1, 2, 63, 64, 65}.
+
+use dual_cluster::{CondensedMatrix, Dbscan, HammingKMeans, KMeans};
+use dual_core::{DualAccelerator, DualConfig};
+use dual_hdc::{search, Hypervector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const THREADS: [usize; 5] = [0, 1, 2, 3, 8];
+const SIZES: [usize; 6] = [0, 1, 2, 63, 64, 65];
+
+fn euclid_points(n: usize, m: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..m).map(|_| rng.gen_range(-10.0..10.0)).collect())
+        .collect()
+}
+
+fn hypervectors(n: usize, dim: usize, seed: u64) -> Vec<Hypervector> {
+    (0..n)
+        .map(|i| dual_hdc::ops::random_hypervector(dim, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+/// Exact bit equality for float vectors — `==` would also accept
+/// `-0.0 == 0.0` and reject NaN; the kernels promise stronger.
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: entry {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn condensed_matrix_parallel_is_bit_identical() {
+    for &n in &SIZES {
+        let pts = euclid_points(n, 3, 42 + n as u64);
+        let serial = CondensedMatrix::from_points(&pts, dual_cluster::euclidean);
+        for &threads in &THREADS {
+            let par = CondensedMatrix::from_points_parallel(&pts, threads, |a, b| {
+                dual_cluster::euclidean(a, b)
+            });
+            assert_eq!(par.n(), serial.n());
+            let (sv, pv): (Vec<f64>, Vec<f64>) = (
+                serial.iter_pairs().map(|(_, _, d)| d).collect(),
+                par.iter_pairs().map(|(_, _, d)| d).collect(),
+            );
+            assert_bits_eq(&sv, &pv, &format!("condensed n={n} threads={threads}"));
+        }
+    }
+}
+
+#[test]
+fn kmeans_parallel_is_bit_identical() {
+    // Sizes crossing the 1024-point fixed-block boundary matter here:
+    // the centroid sums are folded block-by-block.
+    for &n in &[2usize, 63, 64, 65, 1024, 1500] {
+        let pts = euclid_points(n, 3, 7 + n as u64);
+        let k = 3.min(n);
+        let serial = KMeans::new(k).unwrap().seed(5).threads(1).fit(&pts).unwrap();
+        for &threads in &THREADS {
+            let par = KMeans::new(k)
+                .unwrap()
+                .seed(5)
+                .threads(threads)
+                .fit(&pts)
+                .unwrap();
+            assert_eq!(par.labels, serial.labels, "n={n} threads={threads}");
+            assert_eq!(par.iterations, serial.iterations, "n={n} threads={threads}");
+            assert_eq!(
+                par.inertia.to_bits(),
+                serial.inertia.to_bits(),
+                "inertia n={n} threads={threads}"
+            );
+            for (c, (pc, sc)) in par.centers.iter().zip(&serial.centers).enumerate() {
+                assert_bits_eq(pc, sc, &format!("center {c} n={n} threads={threads}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn kmeans_rejects_consistently_regardless_of_threads() {
+    for &threads in &THREADS {
+        let r = KMeans::new(2).unwrap().threads(threads).fit(&[vec![1.0]]);
+        assert!(r.is_err(), "threads={threads} must reject n < k");
+    }
+}
+
+#[test]
+fn hamming_kmeans_parallel_is_bit_identical() {
+    for &n in &[2usize, 63, 64, 65] {
+        let pts = hypervectors(n, 256, 11 + n as u64);
+        let k = 3.min(n);
+        let serial = HammingKMeans::new(k)
+            .unwrap()
+            .seed(9)
+            .threads(1)
+            .fit(&pts)
+            .unwrap();
+        for &threads in &THREADS {
+            let par = HammingKMeans::new(k)
+                .unwrap()
+                .seed(9)
+                .threads(threads)
+                .fit(&pts)
+                .unwrap();
+            // Hypervector implements Eq: centers compare exactly.
+            assert_eq!(par, serial, "n={n} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn dbscan_parallel_is_identical() {
+    for &n in &SIZES {
+        let pts = euclid_points(n, 2, 23 + n as u64);
+        let model = Dbscan::new(2.5, 3).unwrap();
+        let serial = model.fit(&pts, dual_cluster::euclidean);
+        for &threads in &THREADS {
+            let par = model.fit_parallel(&pts, threads, dual_cluster::euclidean);
+            assert_eq!(par, serial, "n={n} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn hamming_search_parallel_is_identical() {
+    for &n in &SIZES {
+        let cands = hypervectors(n, 512, 31 + n as u64);
+        let query = dual_hdc::ops::random_hypervector(512, 999);
+        let serial_nearest = search::nearest(&query, &cands);
+        let serial_top = search::top_k(&query, &cands, 7);
+        for &threads in &THREADS {
+            assert_eq!(
+                search::nearest_parallel(&query, &cands, threads),
+                serial_nearest,
+                "nearest n={n} threads={threads}"
+            );
+            assert_eq!(
+                search::top_k_parallel(&query, &cands, 7, threads),
+                serial_top,
+                "top_k n={n} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn encode_parallel_matches_encode_for_degenerate_thread_counts() {
+    let acc = DualAccelerator::new(DualConfig::paper().with_dim(256), 4, 3).unwrap();
+    for &n in &SIZES {
+        let pts = euclid_points(n, 4, 17 + n as u64);
+        let serial = acc.encode(&pts).unwrap();
+        // Degenerate counts the contract singles out: 0 (auto), 1, and
+        // more threads than points — plus the usual spread.
+        for threads in [0, 1, 2, 3, 8, n + 1, n.saturating_mul(4) + 13] {
+            let par = acc.encode_parallel(&pts, threads).unwrap();
+            assert_eq!(par, serial, "n={n} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn pool_primitives_are_thread_count_invariant() {
+    use dual_core::pool;
+    let data: Vec<u64> = (0..1000).map(|i| i * 2654435761 % 97).collect();
+    let serial_sum: u64 = data.iter().sum();
+    for &threads in &THREADS {
+        // par_map_chunks preserves order and content.
+        let doubled = pool::par_map_chunks(&data, threads, |_, chunk| {
+            chunk.iter().map(|&x| x * 2).collect()
+        });
+        assert_eq!(doubled.len(), data.len());
+        assert!(doubled.iter().zip(&data).all(|(&d, &x)| d == 2 * x));
+        // par_reduce folds chunks in fixed order.
+        let sum = pool::par_reduce(
+            data.len(),
+            threads,
+            |range| range.map(|i| data[i]).sum::<u64>(),
+            |a, b| a + b,
+        )
+        .unwrap_or(0);
+        assert_eq!(sum, serial_sum, "threads={threads}");
+    }
+}

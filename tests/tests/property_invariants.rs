@@ -1,0 +1,168 @@
+//! Property-based invariants for the bit-level substrate the parallel
+//! kernels rest on: if these hold, chunking a computation can only
+//! reorder work, never change results.
+
+use dual_cluster::CondensedMatrix;
+use dual_hdc::ops::{bind, permute, random_hypervector};
+use dual_hdc::{BitVec, Hypervector};
+use proptest::prelude::*;
+
+/// The storage invariant everything relies on: bits past `len` in the
+/// last `u64` word must be zero, otherwise `count_ones`/`hamming`
+/// (word-level popcounts) overcount.
+fn tail_is_masked(v: &BitVec) {
+    let len = v.len();
+    if len.is_multiple_of(64) {
+        return;
+    }
+    let last = *v.as_words().last().expect("non-word-aligned => non-empty");
+    let tail = last >> (len % 64);
+    assert_eq!(tail, 0, "tail bits past len={len} must stay zero");
+}
+
+fn bitvec_strategy(max_len: usize) -> impl Strategy<Value = BitVec> {
+    (0usize..max_len, proptest::arbitrary::any::<u64>())
+        .prop_map(|(len, seed)| random_hypervector(len, seed).into_bitvec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_hamming_is_symmetric_and_zero_on_self(
+        len in 0usize..300, sa in proptest::arbitrary::any::<u64>(), sb in proptest::arbitrary::any::<u64>(),
+    ) {
+        let a = random_hypervector(len, sa).into_bitvec();
+        let b = random_hypervector(len, sb).into_bitvec();
+        prop_assert_eq!(a.hamming(&b), b.hamming(&a));
+        prop_assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn prop_hamming_triangle_inequality(
+        len in 0usize..300,
+        sa in proptest::arbitrary::any::<u64>(),
+        sb in proptest::arbitrary::any::<u64>(),
+        sc in proptest::arbitrary::any::<u64>(),
+    ) {
+        let a = random_hypervector(len, sa).into_bitvec();
+        let b = random_hypervector(len, sb).into_bitvec();
+        let c = random_hypervector(len, sc).into_bitvec();
+        prop_assert!(a.hamming(&c) <= a.hamming(&b) + b.hamming(&c));
+    }
+
+    #[test]
+    fn prop_tail_stays_masked_through_mutation(
+        len in 1usize..300,
+        sa in proptest::arbitrary::any::<u64>(),
+        sb in proptest::arbitrary::any::<u64>(),
+    ) {
+        // ones() must mask.
+        let mut v = BitVec::ones(len);
+        tail_is_masked(&v);
+        prop_assert_eq!(v.count_ones(), len);
+        // from_bits must mask.
+        let built = random_hypervector(len, sa).into_bitvec();
+        let rebuilt = BitVec::from_bits(built.iter());
+        tail_is_masked(&rebuilt);
+        prop_assert_eq!(&rebuilt, &built);
+        // xor_assign and not_assign must preserve the mask.
+        v.xor_assign(&random_hypervector(len, sb).into_bitvec());
+        tail_is_masked(&v);
+        v.not_assign();
+        tail_is_masked(&v);
+        prop_assert!(v.count_ones() <= len);
+    }
+
+    #[test]
+    fn prop_bind_is_self_inverse_and_distance_preserving(
+        len in 1usize..300,
+        sa in proptest::arbitrary::any::<u64>(),
+        sb in proptest::arbitrary::any::<u64>(),
+        sk in proptest::arbitrary::any::<u64>(),
+    ) {
+        let a = random_hypervector(len, sa);
+        let b = random_hypervector(len, sb);
+        let key = random_hypervector(len, sk);
+        // XOR-binding twice with the same key is the identity…
+        let bound = bind(&a, &key).unwrap();
+        prop_assert_eq!(&bind(&bound, &key).unwrap(), &a);
+        // …and binding both operands preserves Hamming distance.
+        let bb = bind(&b, &key).unwrap();
+        prop_assert_eq!(bound.hamming(&bb), a.hamming(&b));
+        tail_is_masked(bound.bits());
+    }
+
+    #[test]
+    fn prop_permute_inverts_and_preserves_weight(
+        len in 1usize..300,
+        shift in 0usize..400,
+        sa in proptest::arbitrary::any::<u64>(),
+    ) {
+        let a = random_hypervector(len, sa);
+        let rotated = permute(&a, shift);
+        prop_assert_eq!(rotated.bits().count_ones(), a.bits().count_ones());
+        tail_is_masked(rotated.bits());
+        // Rotating back by the complementary shift restores the input.
+        let back = permute(&rotated, len - (shift % len));
+        prop_assert_eq!(&back, &a);
+    }
+
+    #[test]
+    fn prop_condensed_get_set_roundtrip(
+        n in 2usize..40,
+        pairs in proptest::collection::vec(
+            (proptest::arbitrary::any::<u64>(), proptest::arbitrary::any::<u64>(), -1e6f64..1e6),
+            1..32,
+        ),
+    ) {
+        let mut m = CondensedMatrix::zeros(n);
+        let mut last: Vec<((usize, usize), f64)> = Vec::new();
+        for (ri, rj, v) in pairs {
+            let i = (ri % n as u64) as usize;
+            let mut j = (rj % n as u64) as usize;
+            if i == j {
+                j = (j + 1) % n;
+            }
+            m.set(i, j, v);
+            let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+            last.retain(|&(p, _)| p != (lo, hi));
+            last.push(((lo, hi), v));
+        }
+        // Every written pair reads back its last value, from both index
+        // orders, bit-exactly.
+        for ((i, j), v) in last {
+            prop_assert_eq!(m.get(i, j).to_bits(), v.to_bits());
+            prop_assert_eq!(m.get(j, i).to_bits(), v.to_bits());
+        }
+        // The diagonal stays implicit and zero.
+        for d in 0..n {
+            prop_assert_eq!(m.get(d, d), 0.0);
+        }
+    }
+
+    #[test]
+    fn prop_search_nearest_agrees_with_top1(
+        n in 0usize..40,
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let cands: Vec<Hypervector> = (0..n)
+            .map(|i| random_hypervector(64, seed.wrapping_add(i as u64)))
+            .collect();
+        let q = random_hypervector(64, seed.wrapping_mul(31).wrapping_add(1));
+        let nearest = dual_hdc::search::nearest(&q, &cands);
+        let top1 = dual_hdc::search::top_k(&q, &cands, 1);
+        prop_assert_eq!(nearest, top1.first().copied());
+    }
+}
+
+#[test]
+fn bitvec_strategy_exercises_lengths() {
+    // Sanity: the helper strategy compiles and produces masked vectors.
+    use proptest::strategy::Strategy as _;
+    let mut rng = proptest::test_runner::TestRng::for_case("bitvec_strategy", 0);
+    for _ in 0..16 {
+        let v = bitvec_strategy(200).generate(&mut rng);
+        tail_is_masked(&v);
+    }
+}
