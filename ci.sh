@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus the full workspace checks this repo holds itself to.
 #
-#   ./ci.sh            # build + tests + clippy
+#   ./ci.sh            # build + tests + clippy + fmt + dual-lint
 #   DUAL_THREADS=4 ./ci.sh   # same, with a pinned pool thread count
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -17,5 +17,11 @@ cargo test -q --workspace
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> dual-lint check (static-analysis gate, see DESIGN.md)"
+cargo run -q -p dual-lint --release -- check --json
 
 echo "CI OK"

@@ -306,7 +306,10 @@ mod tests {
 
     #[test]
     fn phase_fraction_handles_missing_and_zero() {
-        let c = GpuCost { phases: vec![], energy_j: 0.0 };
+        let c = GpuCost {
+            phases: vec![],
+            energy_j: 0.0,
+        };
         assert_eq!(c.phase_fraction("similarity"), 0.0);
     }
 

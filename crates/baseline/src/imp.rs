@@ -133,6 +133,9 @@ mod tests {
     #[test]
     fn offloadable_phase_lists() {
         assert_eq!(ImpModel::offloadable_phases(Algorithm::KMeans).len(), 2);
-        assert_eq!(ImpModel::offloadable_phases(Algorithm::Hierarchical), &["similarity"]);
+        assert_eq!(
+            ImpModel::offloadable_phases(Algorithm::Hierarchical),
+            &["similarity"]
+        );
     }
 }

@@ -21,6 +21,7 @@
 //!   comparator, not a contribution, so its published behaviour is the
 //!   most faithful stand-in available.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod gpu;

@@ -118,10 +118,7 @@ fn bench_parallel_pairs(c: &mut Criterion) {
         .collect();
     c.bench_function("pairwise_condensed_2000pts_serial", |bench| {
         bench.iter(|| {
-            std::hint::black_box(CondensedMatrix::from_points(
-                &pts,
-                dual_cluster::euclidean,
-            ))
+            std::hint::black_box(CondensedMatrix::from_points(&pts, dual_cluster::euclidean))
         })
     });
     c.bench_function("pairwise_condensed_2000pts_parallel", |bench| {
@@ -148,9 +145,7 @@ fn bench_parallel_pairs(c: &mut Criterion) {
         bench.iter(|| std::hint::black_box(db.fit(&pts, dual_cluster::euclidean)))
     });
     c.bench_function("dbscan_2000pts_parallel", |bench| {
-        bench.iter(|| {
-            std::hint::black_box(db.fit_parallel(&pts, 0, dual_cluster::euclidean))
-        })
+        bench.iter(|| std::hint::black_box(db.fit_parallel(&pts, 0, dual_cluster::euclidean)))
     });
 
     // Batch Hamming nearest search, 4096 candidates × 2048 bits.
@@ -169,7 +164,11 @@ fn bench_parallel_pairs(c: &mut Criterion) {
     let acc = dual_core::DualAccelerator::new(DualConfig::paper().with_dim(1024), 16, 3)
         .expect("valid encoder");
     let feats: Vec<Vec<f64>> = (0..256)
-        .map(|i| (0..16).map(|j| ((i * 16 + j) as f64 * 0.13).sin()).collect())
+        .map(|i| {
+            (0..16)
+                .map(|j| ((i * 16 + j) as f64 * 0.13).sin())
+                .collect()
+        })
         .collect();
     c.bench_function("encode_256x1024_serial", |bench| {
         bench.iter(|| std::hint::black_box(acc.encode(&feats).expect("valid dims")))

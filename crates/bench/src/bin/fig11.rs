@@ -31,7 +31,14 @@ fn main() {
             .iter()
             .map(|hv| hv.bits().iter().map(f64::from).collect())
             .collect();
-        spaces.push((if dim == 4000 { "dual_d4000" } else { "dual_d1000" }, float));
+        spaces.push((
+            if dim == 4000 {
+                "dual_d4000"
+            } else {
+                "dual_d1000"
+            },
+            float,
+        ));
     }
     for (name, pts) in &spaces {
         let emb = Tsne::new()

@@ -34,8 +34,14 @@ fn main() {
         }
         rows.push(vec![
             "mean".into(),
-            format!("{:.1}x", speedups.iter().sum::<f64>() / speedups.len() as f64),
-            format!("{:.1}x", energies.iter().sum::<f64>() / energies.len() as f64),
+            format!(
+                "{:.1}x",
+                speedups.iter().sum::<f64>() / speedups.len() as f64
+            ),
+            format!(
+                "{:.1}x",
+                energies.iter().sum::<f64>() / energies.len() as f64
+            ),
             String::new(),
             String::new(),
         ]);
@@ -43,7 +49,13 @@ fn main() {
             "{}",
             render_table(
                 &format!("Fig 12 — {} vs GPU", alg.name()),
-                &["dataset", "speedup", "energy eff.", "no-interconnect", "no-counter"],
+                &[
+                    "dataset",
+                    "speedup",
+                    "energy eff.",
+                    "no-interconnect",
+                    "no-counter"
+                ],
                 &rows,
             )
         );

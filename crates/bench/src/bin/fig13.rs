@@ -7,7 +7,9 @@
 //! most sensitive (42.2× / 139.5× and 46.5× / 146.4×).
 
 use dual_baseline::Algorithm;
-use dual_bench::{quality, quality_dataset, render_table, speedup_energy, Representation, BENCH_SEED};
+use dual_bench::{
+    quality, quality_dataset, render_table, speedup_energy, Representation, BENCH_SEED,
+};
 use dual_core::DualConfig;
 use dual_data::Workload;
 
@@ -31,10 +33,7 @@ fn minimal_dim_for_loss(alg: Algorithm, budget: f64) -> usize {
     let mut best = 4000;
     for &dim in &DIMS {
         let q = per_set(dim);
-        let ok = q
-            .iter()
-            .zip(&reference)
-            .all(|(&qi, &ri)| qi >= ri - budget);
+        let ok = q.iter().zip(&reference).all(|(&qi, &ri)| qi >= ri - budget);
         if ok {
             best = dim;
         } else {
@@ -61,8 +60,14 @@ fn main() {
                 alg.name().to_string(),
                 label.to_string(),
                 dim.to_string(),
-                format!("{:.1}x", speedups.iter().sum::<f64>() / speedups.len() as f64),
-                format!("{:.1}x", energies.iter().sum::<f64>() / energies.len() as f64),
+                format!(
+                    "{:.1}x",
+                    speedups.iter().sum::<f64>() / speedups.len() as f64
+                ),
+                format!(
+                    "{:.1}x",
+                    energies.iter().sum::<f64>() / energies.len() as f64
+                ),
             ]);
         }
     }

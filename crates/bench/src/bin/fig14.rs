@@ -73,7 +73,13 @@ fn main() {
     let s16 = chip_scaling_speedup(ScalingModel::Hierarchical, spec.n_points, 16);
     let dual_16 = dual_chunk / s16;
     let gpu = GpuModel::gtx_1080()
-        .cost(Algorithm::Hierarchical, chunk, spec.n_features, spec.n_clusters, 1)
+        .cost(
+            Algorithm::Hierarchical,
+            chunk,
+            spec.n_features,
+            spec.n_clusters,
+            1,
+        )
         .time_s();
     println!(
         "iso-area check, 10M points ({chunk}-point partitions): 16-chip DUAL vs GPU = {:.0}x (paper ~621x), vs 1-chip DUAL = {s16:.1}x (paper ~4.6x)",

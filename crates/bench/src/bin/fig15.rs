@@ -41,7 +41,10 @@ fn main() {
         rows.push(vec![
             alg.name().to_string(),
             format!("{:.1}x", geomean(&imp_vs_gpu)),
-            format!("{:.1}x", dual_vs_imp.iter().sum::<f64>() / dual_vs_imp.len() as f64),
+            format!(
+                "{:.1}x",
+                dual_vs_imp.iter().sum::<f64>() / dual_vs_imp.len() as f64
+            ),
         ]);
     }
     println!(

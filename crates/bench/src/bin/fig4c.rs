@@ -25,7 +25,11 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table("ML discharge time vs mismatches (τ = 1400 ps)", &["mismatches", "discharge"], &rows)
+        render_table(
+            "ML discharge time vs mismatches (τ = 1400 ps)",
+            &["mismatches", "discharge"],
+            &rows
+        )
     );
 
     // Resolvability per window width.
@@ -37,7 +41,12 @@ fn main() {
         rows.push(vec![
             format!("{width}-bit"),
             if exact(&linear) { "exact" } else { "ambiguous" }.to_string(),
-            if exact(&nonlinear) { "exact" } else { "ambiguous" }.to_string(),
+            if exact(&nonlinear) {
+                "exact"
+            } else {
+                "ambiguous"
+            }
+            .to_string(),
         ]);
     }
     println!(

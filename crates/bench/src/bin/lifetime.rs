@@ -33,7 +33,11 @@ fn main() {
     ];
     println!(
         "{}",
-        render_table("DUAL lifetime (Gaussian endurance, wear-leveled)", &["condition", "model", "paper"], &rows)
+        render_table(
+            "DUAL lifetime (Gaussian endurance, wear-leveled)",
+            &["condition", "model", "paper"],
+            &rows
+        )
     );
 
     // ---- variation --------------------------------------------------------

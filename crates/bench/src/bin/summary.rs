@@ -6,7 +6,11 @@ use dual_baseline::Algorithm;
 use dual_bench::{render_table, speedup_energy};
 
 fn amean(v: &[f64]) -> f64 {
-    if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 }
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
 }
 use dual_core::DualConfig;
 use dual_data::Workload;

@@ -33,7 +33,13 @@ fn main() {
         "{}",
         render_table(
             "Table III: DUAL supported operations (28 nm, row-parallel on a 1k-row block)",
-            &["Operation", "Size", "Energy", "Execution Time", "Required Memory"],
+            &[
+                "Operation",
+                "Size",
+                "Energy",
+                "Execution Time",
+                "Required Memory"
+            ],
             &rows,
         )
     );

@@ -21,7 +21,13 @@ fn main() {
         "{}",
         render_table(
             "Table IV: Workloads",
-            &["Datasets", "# Data Point", "# Features", "# Clusters", "Description"],
+            &[
+                "Datasets",
+                "# Data Point",
+                "# Features",
+                "# Clusters",
+                "Description"
+            ],
             &rows,
         )
     );

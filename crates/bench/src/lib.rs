@@ -11,12 +11,13 @@
 //! Table II/III cost anchors. EXPERIMENTS.md records paper-vs-measured
 //! for every artifact.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use dual_baseline::{Algorithm, GpuModel};
 use dual_cluster::{
-    cluster_accuracy, euclidean, hamming, normalized_mutual_information,
-    AgglomerativeClustering, Dbscan, HammingKMeans, KMeans, Linkage, NnChainClustering,
+    cluster_accuracy, euclidean, hamming, normalized_mutual_information, AgglomerativeClustering,
+    Dbscan, HammingKMeans, KMeans, Linkage, NnChainClustering,
 };
 use dual_core::{DualConfig, PerfModel, PhaseReport};
 use dual_data::{catalog, Dataset, Workload};
@@ -67,8 +68,9 @@ pub const EPS_GRID: [f64; 8] = [0.9, 1.05, 1.2, 1.35, 1.5, 2.0, 3.0, 4.0];
 /// Finer ε grid for the Hamming-space chain: distance concentration in
 /// HD space compresses the useful ε range into a narrow band just above
 /// the median nearest-neighbor distance.
-pub const HD_EPS_GRID: [f64; 12] =
-    [1.0, 1.05, 1.1, 1.15, 1.2, 1.25, 1.3, 1.35, 1.42, 1.5, 1.7, 2.0];
+pub const HD_EPS_GRID: [f64; 12] = [
+    1.0, 1.05, 1.1, 1.15, 1.2, 1.25, 1.3, 1.35, 1.42, 1.5, 1.7, 2.0,
+];
 
 /// Kernel-bandwidth candidates for the HD-Mapper, as multiples of the
 /// median pairwise distance. The sign-cosine encoder has no random
@@ -163,10 +165,12 @@ fn quality_fixed(
     let k = ds.n_clusters.max(1);
     let labels: Vec<usize> = match encoded {
         None => match alg {
-            Algorithm::Hierarchical => {
-                AgglomerativeClustering::fit(&ds.points, Linkage::Ward, dual_cluster::squared_euclidean)
-                    .cut(k)
-            }
+            Algorithm::Hierarchical => AgglomerativeClustering::fit(
+                &ds.points,
+                Linkage::Ward,
+                dual_cluster::squared_euclidean,
+            )
+            .cut(k),
             Algorithm::KMeans => {
                 // n_init-style restarts, best inertia wins (as
                 // scikit-learn's baseline does).

@@ -272,8 +272,10 @@ mod tests {
     #[test]
     fn dbscan_border_points_join_clusters() {
         // 0.0..0.3 dense core; 0.55 is border (within eps of 0.3 but not core).
-        let pts: Vec<Vec<f64>> =
-            [0.0, 0.1, 0.2, 0.3, 0.55].iter().map(|&x| vec![x]).collect();
+        let pts: Vec<Vec<f64>> = [0.0, 0.1, 0.2, 0.3, 0.55]
+            .iter()
+            .map(|&x| vec![x])
+            .collect();
         let res = Dbscan::new(0.3, 3).unwrap().fit(&pts, euclidean);
         assert_eq!(res.n_clusters, 1);
         assert_eq!(res.labels[4], res.labels[0]);
@@ -320,10 +322,14 @@ mod tests {
     #[test]
     fn chain_empty_and_singleton() {
         let none: Vec<f64> = Vec::new();
-        let res = NnChainClustering::new(1.0).unwrap().fit(&none, |a, b| (a - b).abs());
+        let res = NnChainClustering::new(1.0)
+            .unwrap()
+            .fit(&none, |a, b| (a - b).abs());
         assert_eq!(res.n_clusters, 0);
         let one = vec![3.0_f64];
-        let res = NnChainClustering::new(1.0).unwrap().fit(&one, |a, b| (a - b).abs());
+        let res = NnChainClustering::new(1.0)
+            .unwrap()
+            .fit(&one, |a, b| (a - b).abs());
         assert_eq!(res.n_clusters, 1);
         assert_eq!(res.labels, vec![0]);
     }

@@ -121,7 +121,7 @@ impl Dendrogram {
             parent[ra] = nid;
             parent[rb] = nid;
         }
-        let mut label_of_root = std::collections::HashMap::new();
+        let mut label_of_root = std::collections::BTreeMap::new();
         let mut labels = Vec::with_capacity(self.n);
         for p in 0..self.n {
             let root = find(&mut parent, p);
@@ -408,7 +408,12 @@ mod tests {
                 euclidean
             };
             let model = AgglomerativeClustering::fit(&pts, linkage, dist);
-            let ds: Vec<f64> = model.dendrogram().merges().iter().map(|m| m.distance).collect();
+            let ds: Vec<f64> = model
+                .dendrogram()
+                .merges()
+                .iter()
+                .map(|m| m.distance)
+                .collect();
             for w in ds.windows(2) {
                 assert!(w[1] >= w[0] - 1e-9, "{linkage:?}: {ds:?}");
             }
@@ -420,7 +425,10 @@ mod tests {
         let pts = vec![vec![0.0], vec![0.1], vec![10.0], vec![20.0]];
         let model = AgglomerativeClustering::fit(&pts, Linkage::Ward, squared_euclidean);
         let first = model.dendrogram().merges()[0];
-        assert_eq!((first.left.min(first.right), first.left.max(first.right)), (0, 1));
+        assert_eq!(
+            (first.left.min(first.right), first.left.max(first.right)),
+            (0, 1)
+        );
     }
 
     #[test]
@@ -438,8 +446,11 @@ mod tests {
             (first.left.min(first.right), first.left.max(first.right)),
             (0, 1)
         );
-        let weighted =
-            AgglomerativeClustering::fit_precomputed_weighted(&m, Some(&[1000, 1, 1]), Linkage::Ward);
+        let weighted = AgglomerativeClustering::fit_precomputed_weighted(
+            &m,
+            Some(&[1000, 1, 1]),
+            Linkage::Ward,
+        );
         let first = weighted.dendrogram().merges()[0];
         assert_eq!(
             (first.left.min(first.right), first.left.max(first.right)),
@@ -457,7 +468,10 @@ mod tests {
 
     #[test]
     fn cut_at_height_matches_threshold_semantics() {
-        let pts: Vec<Vec<f64>> = [0.0, 0.2, 5.0, 5.3, 20.0].iter().map(|&x| vec![x]).collect();
+        let pts: Vec<Vec<f64>> = [0.0, 0.2, 5.0, 5.3, 20.0]
+            .iter()
+            .map(|&x| vec![x])
+            .collect();
         let model = AgglomerativeClustering::fit(&pts, Linkage::Single, euclidean);
         // Height 1.0 admits only the two tight pairs.
         let labels = model.dendrogram().cut_at_height(1.0);
@@ -466,7 +480,11 @@ mod tests {
         assert_ne!(labels[0], labels[2]);
         assert_ne!(labels[4], labels[0]);
         // Height ∞ gives one cluster, height < min merges none.
-        assert!(model.dendrogram().cut_at_height(1e12).iter().all(|&l| l == 0));
+        assert!(model
+            .dendrogram()
+            .cut_at_height(1e12)
+            .iter()
+            .all(|&l| l == 0));
         let all = model.dendrogram().cut_at_height(0.01);
         let mut uniq = all.clone();
         uniq.sort_unstable();
@@ -599,12 +617,19 @@ mod tests {
 
     #[test]
     fn matches_naive_reference_fixed_case() {
-        let pts: Vec<Vec<f64>> =
-            [0.0, 1.0, 1.5, 4.0, 4.2, 9.0].iter().map(|&x| vec![x]).collect();
+        let pts: Vec<Vec<f64>> = [0.0, 1.0, 1.5, 4.0, 4.2, 9.0]
+            .iter()
+            .map(|&x| vec![x])
+            .collect();
         for linkage in Linkage::all() {
             let fast = AgglomerativeClustering::fit(&pts, linkage, euclidean);
             let naive = naive_reference(&pts, linkage);
-            let fd: Vec<f64> = fast.dendrogram().merges().iter().map(|m| m.distance).collect();
+            let fd: Vec<f64> = fast
+                .dendrogram()
+                .merges()
+                .iter()
+                .map(|m| m.distance)
+                .collect();
             assert_eq!(fd.len(), naive.len());
             for (a, b) in fd.iter().zip(&naive) {
                 assert!((a - b).abs() < 1e-9, "{linkage:?}: {fd:?} vs {naive:?}");

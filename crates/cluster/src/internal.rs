@@ -83,7 +83,11 @@ pub fn davies_bouldin(points: &[Vec<f64>], labels: &[usize]) -> f64 {
         }
     }
     let dist = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
     };
     let mut scatter = vec![0.0f64; k];
     for (p, &l) in points.iter().zip(labels) {

@@ -116,10 +116,8 @@ impl KMeans {
             // Update step: per-fixed-block partial (sums, counts) folded
             // in block order — the float summation order is a function of
             // `n` alone, never of the thread count.
-            let partials = dual_pool::par_map_fixed(
-                dual_pool::fixed_blocks(n),
-                self.threads,
-                |range| {
+            let partials =
+                dual_pool::par_map_fixed(dual_pool::fixed_blocks(n), self.threads, |range| {
                     let mut sums = vec![vec![0.0f64; m]; self.k];
                     let mut counts = vec![0usize; self.k];
                     for idx in range {
@@ -130,8 +128,7 @@ impl KMeans {
                         }
                     }
                     (sums, counts)
-                },
-            );
+                });
             let mut sums = vec![vec![0.0f64; m]; self.k];
             let mut counts = vec![0usize; self.k];
             for (part_sums, part_counts) in partials {
@@ -163,15 +160,11 @@ impl KMeans {
         }
         // Final assignment against the converged centers.
         assign_labels(points, &centers, &mut labels, self.threads);
-        let inertia = dual_pool::par_map_fixed(
-            dual_pool::fixed_blocks(n),
-            self.threads,
-            |range| {
-                range
-                    .map(|i| squared_euclidean(&points[i], &centers[labels[i]]))
-                    .sum::<f64>()
-            },
-        )
+        let inertia = dual_pool::par_map_fixed(dual_pool::fixed_blocks(n), self.threads, |range| {
+            range
+                .map(|i| squared_euclidean(&points[i], &centers[labels[i]]))
+                .sum::<f64>()
+        })
         .into_iter()
         .sum();
         Ok(KMeansResult {
@@ -209,7 +202,10 @@ fn argmin_center(p: &Vec<f64>, centers: &[Vec<f64>]) -> usize {
 
 fn kmeans_pp_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
     let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
-    centers.push(points.choose(rng).expect("non-empty checked").clone());
+    let Some(first) = points.choose(rng) else {
+        return centers; // no points: caller validates, but stay total
+    };
+    centers.push(first.clone());
     let mut d2: Vec<f64> = points
         .iter()
         .map(|p| squared_euclidean(p, &centers[0]))
@@ -217,7 +213,9 @@ fn kmeans_pp_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f6
     while centers.len() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= f64::EPSILON {
-            points.choose(rng).expect("non-empty").clone()
+            // All residual distances are zero — any point works; fall
+            // back to the first center if the sampler yields nothing.
+            points.choose(rng).unwrap_or(&centers[0]).clone()
         } else {
             let mut target = rng.gen_range(0.0..total);
             let mut pick = points.len() - 1;
@@ -407,15 +405,11 @@ impl HammingKMeans {
             }
         }
         assign_hamming_labels(points, &centers, &mut labels, self.threads);
-        let inertia = dual_pool::par_map_fixed(
-            dual_pool::fixed_blocks(n),
-            self.threads,
-            |range| {
-                range
-                    .map(|i| points[i].hamming(&centers[labels[i]]))
-                    .sum::<usize>()
-            },
-        )
+        let inertia = dual_pool::par_map_fixed(dual_pool::fixed_blocks(n), self.threads, |range| {
+            range
+                .map(|i| points[i].hamming(&centers[labels[i]]))
+                .sum::<usize>()
+        })
         .into_iter()
         .sum();
         Ok(HammingKMeansResult {

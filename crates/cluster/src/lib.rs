@@ -32,6 +32,10 @@
 //! assert_ne!(labels[0], labels[2]);
 //! ```
 
+#![forbid(unsafe_code)]
+// This crate's unwrap/expect debt is burned to zero: deny outright.
+// (Test code is exempt via .clippy.toml allow-*-in-tests keys.)
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 #![warn(missing_docs)]
 
 mod dbscan;

@@ -32,15 +32,7 @@ impl Linkage {
     /// distances on binary vectors already are).
     #[must_use]
     #[allow(clippy::too_many_arguments)]
-    pub fn update(
-        self,
-        d_ik: f64,
-        d_jk: f64,
-        d_ij: f64,
-        s_i: f64,
-        s_j: f64,
-        s_k: f64,
-    ) -> f64 {
+    pub fn update(self, d_ik: f64, d_jk: f64, d_ij: f64, s_i: f64, s_j: f64, s_k: f64) -> f64 {
         match self {
             Self::Single => d_ik.min(d_jk),
             Self::Complete => d_ik.max(d_jk),
@@ -123,9 +115,7 @@ mod tests {
         let a = [0.0, 0.0];
         let b = [2.0, 0.0];
         let c = [0.0, 3.0];
-        let sq = |p: &[f64; 2], q: &[f64; 2]| {
-            (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2)
-        };
+        let sq = |p: &[f64; 2], q: &[f64; 2]| (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2);
         // Ward "distance" between singletons is the squared distance.
         let d_ab = sq(&a, &b);
         let d_ac = sq(&a, &c);

@@ -207,10 +207,7 @@ mod tests {
     fn iter_pairs_yields_upper_triangle() {
         let m = CondensedMatrix::from_points(&[0.0f64, 1.0, 3.0], |a, b| (a - b).abs());
         let pairs: Vec<_> = m.iter_pairs().collect();
-        assert_eq!(
-            pairs,
-            vec![(0, 1, 1.0), (0, 2, 3.0), (1, 2, 2.0)]
-        );
+        assert_eq!(pairs, vec![(0, 1, 1.0), (0, 2, 3.0), (1, 2, 2.0)]);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! their own. Purity and normalized mutual information are included as
 //! cross-checks.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The paper's quality metric: majority-label cluster accuracy in
 /// `[0, 1]`.
@@ -34,7 +34,7 @@ pub fn cluster_accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
     if predicted.is_empty() {
         return 1.0;
     }
-    let mut per_cluster: HashMap<usize, HashMap<usize, usize>> = HashMap::new();
+    let mut per_cluster: BTreeMap<usize, BTreeMap<usize, usize>> = BTreeMap::new();
     for (&p, &t) in predicted.iter().zip(truth) {
         *per_cluster.entry(p).or_default().entry(t).or_default() += 1;
     }
@@ -67,15 +67,17 @@ pub fn normalized_mutual_information(a: &[usize], b: &[usize]) -> f64 {
         return 1.0;
     }
     let nf = n as f64;
-    let mut joint: HashMap<(usize, usize), usize> = HashMap::new();
-    let mut ca: HashMap<usize, usize> = HashMap::new();
-    let mut cb: HashMap<usize, usize> = HashMap::new();
+    // BTreeMaps so the f64 entropy/MI folds below visit keys in a fixed
+    // order — the sums are then bit-identical across runs (dual-lint r2).
+    let mut joint: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut ca: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut cb: BTreeMap<usize, usize> = BTreeMap::new();
     for (&x, &y) in a.iter().zip(b) {
         *joint.entry((x, y)).or_default() += 1;
         *ca.entry(x).or_default() += 1;
         *cb.entry(y).or_default() += 1;
     }
-    let entropy = |c: &HashMap<usize, usize>| -> f64 {
+    let entropy = |c: &BTreeMap<usize, usize>| -> f64 {
         c.values()
             .map(|&cnt| {
                 let p = cnt as f64 / nf;

@@ -45,7 +45,11 @@ impl DualAccelerator {
     /// # Errors
     ///
     /// Propagates encoder construction failures.
-    pub fn new(config: DualConfig, n_features: usize, seed: u64) -> Result<Self, dual_hdc::HdcError> {
+    pub fn new(
+        config: DualConfig,
+        n_features: usize,
+        seed: u64,
+    ) -> Result<Self, dual_hdc::HdcError> {
         Self::with_sigma(config, n_features, seed, (n_features as f64).sqrt())
     }
 
@@ -370,7 +374,10 @@ impl DualAccelerator {
         // Row-parallel broadcast writes of the merged sizes (Fig 6, C).
         rt.write_values(&col_si, &vec![s_i << frac_bits; n])?;
         rt.write_values(&col_sj, &vec![s_j << frac_bits; n])?;
-        rt.write_values(&col_sk, &s_k.iter().map(|&v| v << frac_bits).collect::<Vec<_>>())?;
+        rt.write_values(
+            &col_sk,
+            &s_k.iter().map(|&v| v << frac_bits).collect::<Vec<_>>(),
+        )?;
         // X = s_i + s_k, Y = s_j + s_k, Z = s_i + s_j + s_k (Fig 6, D).
         let x = rt.alloc(bits, n)?;
         let y = rt.alloc(bits, n)?;
@@ -473,9 +480,7 @@ mod tests {
         let (pts, truth) = blobs();
         let a = accel();
         for linkage in dual_cluster::Linkage::all() {
-            let out = a
-                .fit_hierarchical_with_linkage(&pts, 3, linkage)
-                .unwrap();
+            let out = a.fit_hierarchical_with_linkage(&pts, 3, linkage).unwrap();
             let acc = cluster_accuracy(&out.labels, &truth);
             assert!(acc > 0.9, "{linkage:?} accuracy {acc}");
         }
@@ -516,7 +521,10 @@ mod tests {
             let t3 = sk / s * scale;
             // The PIM divider underestimates by ≤ ~26%, uniformly across
             // the three coefficients (same divisor), preserving order.
-            assert!(c1 as f64 <= t1 + 1.0 && c1 as f64 >= 0.70 * t1 - 1.0, "c1 {c1} vs {t1}");
+            assert!(
+                c1 as f64 <= t1 + 1.0 && c1 as f64 >= 0.70 * t1 - 1.0,
+                "c1 {c1} vs {t1}"
+            );
             assert!(c2 as f64 <= t2 + 1.0 && c2 as f64 >= 0.70 * t2 - 1.0);
             assert!(c3 as f64 <= t3 + 1.0 && c3 as f64 >= 0.70 * t3 - 1.0);
             assert!(c1 >= c3 && c2 >= c3);

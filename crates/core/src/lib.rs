@@ -37,6 +37,7 @@
 //! assert!(speedup > 10.0, "DUAL must clearly beat the GPU, got {speedup:.1}x");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod accelerator;
@@ -59,8 +60,8 @@ pub use accelerator::{DualAccelerator, DualClusteringOutcome};
 pub use config::DualConfig;
 pub use parallel::{chip_scaling_speedup, replication_speedup, ScalingModel};
 pub use partition::{
-    hierarchical_capacity, partition_quality_retention, partitioned_cost,
-    partitioned_hierarchical, plan as partition_plan, PartitionPlan,
+    hierarchical_capacity, partition_quality_retention, partitioned_cost, partitioned_hierarchical,
+    plan as partition_plan, PartitionPlan,
 };
 pub use perf::{PerfModel, Phase, PhaseReport};
 pub use pim_encoder::PimEncoder;

@@ -13,9 +13,7 @@
 //! iso-area comparison) live here.
 
 use crate::{DualConfig, PerfModel, PhaseReport};
-use dual_cluster::{
-    cluster_accuracy, hamming, AgglomerativeClustering, CondensedMatrix, Linkage,
-};
+use dual_cluster::{cluster_accuracy, hamming, AgglomerativeClustering, CondensedMatrix, Linkage};
 use dual_hdc::{majority_bundle, Hypervector};
 
 /// The largest point count whose full `n × n` distance matrix fits the
@@ -107,8 +105,7 @@ pub fn partitioned_hierarchical(
     let mut member_rep: Vec<usize> = vec![0; n]; // representative index per point
     for (pi, chunk) in encoded.chunks(psize).enumerate() {
         let local_kk = local_k.min(chunk.len());
-        let local =
-            AgglomerativeClustering::fit(chunk, Linkage::Ward, hamming).cut(local_kk);
+        let local = AgglomerativeClustering::fit(chunk, Linkage::Ward, hamming).cut(local_kk);
         let base = reps.len();
         let n_local = local.iter().copied().max().map_or(0, |m| m + 1);
         for c in 0..n_local {
@@ -128,9 +125,12 @@ pub fn partitioned_hierarchical(
     // Stage 2: cluster the representatives globally, carrying their
     // member counts into the weighted Ward recurrence.
     let matrix = CondensedMatrix::from_points(&reps, hamming);
-    let global =
-        AgglomerativeClustering::fit_precomputed_weighted(&matrix, Some(&rep_weight), Linkage::Ward)
-            .cut(k.min(reps.len()));
+    let global = AgglomerativeClustering::fit_precomputed_weighted(
+        &matrix,
+        Some(&rep_weight),
+        Linkage::Ward,
+    )
+    .cut(k.min(reps.len()));
     member_rep.iter().map(|&r| global[r]).collect()
 }
 
@@ -187,10 +187,18 @@ mod tests {
     }
 
     fn encoded_blobs() -> (Vec<Hypervector>, Vec<usize>) {
-        let mapper = HdMapper::builder(512, 4).seed(3).sigma(3.0).build().unwrap();
+        let mapper = HdMapper::builder(512, 4)
+            .seed(3)
+            .sigma(3.0)
+            .build()
+            .unwrap();
         let mut pts = Vec::new();
         let mut truth = Vec::new();
-        let centers = [[0.0, 0.0, 0.0, 0.0], [9.0, 9.0, 0.0, 0.0], [0.0, 9.0, 9.0, 0.0]];
+        let centers = [
+            [0.0, 0.0, 0.0, 0.0],
+            [9.0, 9.0, 0.0, 0.0],
+            [0.0, 9.0, 9.0, 0.0],
+        ];
         for (c, center) in centers.iter().enumerate() {
             for j in 0..20 {
                 let p: Vec<f64> = center

@@ -189,8 +189,12 @@ impl PerfModel {
         let c = &self.cfg.cost;
         let b = self.cfg.distance_bits();
         let qb = self.cfg.coeff_bits;
-        2.0 * c.latency_ns(Op::Write { bits: self.cfg.size_bits })
-            + 3.0 * c.latency_ns(Op::Add { bits: self.cfg.size_bits })
+        2.0 * c.latency_ns(Op::Write {
+            bits: self.cfg.size_bits,
+        }) + 3.0
+            * c.latency_ns(Op::Add {
+                bits: self.cfg.size_bits,
+            })
             + 3.0 * c.latency_ns(Op::Div { bits: qb })
             + 3.0 * c.latency_ns(Op::Mul { bits: qb })
             + 2.0 * c.latency_ns(Op::Add { bits: b })
@@ -206,9 +210,8 @@ impl PerfModel {
         // Results travel to a distance block in the same tile row; the
         // relay penalty only exists when the bus is ablated away.
         wb += self.cfg.interconnect.transfer_latency_ns(c, 3)
-            - c.latency_ns(Op::Transfer { bits: 3 }).min(
-                self.cfg.interconnect.transfer_latency_ns(c, 3),
-            );
+            - c.latency_ns(Op::Transfer { bits: 3 })
+                .min(self.cfg.interconnect.transfer_latency_ns(c, 3));
         match self.cfg.counters {
             CounterMode::Enabled => search.max(wb),
             CounterMode::Disabled => search + wb,
@@ -255,7 +258,9 @@ impl PerfModel {
         let w = self.cfg.windows() as f64;
         let b = self.cfg.distance_bits();
         w * c.energy_pj(Op::Add { bits: 8 })
-            + 8.0 * (self.cfg.interconnect.transfer_energy_pj(c, b) + c.energy_pj(Op::Add { bits: b }))
+            + 8.0
+                * (self.cfg.interconnect.transfer_energy_pj(c, b)
+                    + c.energy_pj(Op::Add { bits: b }))
     }
 
     /// One global minimum search over `n_values` distance entries.
@@ -300,10 +305,7 @@ impl PerfModel {
         4.0 * (p - 1.0)
             * row_blocks
             * row_blocks
-            * self
-                .cfg
-                .interconnect
-                .transfer_latency_ns(&self.cfg.cost, b)
+            * self.cfg.interconnect.transfer_latency_ns(&self.cfg.cost, b)
     }
 
     // ---- encoding (§V-A) ------------------------------------------------
@@ -318,12 +320,12 @@ impl PerfModel {
         let mul8 = c.latency_ns(Op::Mul { bits: 8 });
         let add16 = c.latency_ns(Op::Add { bits: 16 });
         let mul16 = c.latency_ns(Op::Mul { bits: 16 });
-        let per_point = m as f64 * mul8
-            + (m.max(2) as f64).log2().ceil() * add16
-            + 4.0 * mul16
-            + 3.0 * add16;
+        let per_point =
+            m as f64 * mul8 + (m.max(2) as f64).log2().ceil() * add16 + 4.0 * mul16 + 3.0 * add16;
         let blocks_per_point = 2.0 * (self.cfg.dim as f64 / self.cfg.chip.rows as f64).ceil();
-        let pipelines = (self.cfg.total_blocks() as f64 / blocks_per_point).floor().max(1.0);
+        let pipelines = (self.cfg.total_blocks() as f64 / blocks_per_point)
+            .floor()
+            .max(1.0);
         let time = (n as f64 / pipelines).ceil() * per_point;
         let e_point = m as f64 * c.energy_pj(Op::Mul { bits: 8 })
             + (m.max(2) as f64).log2().ceil() * c.energy_pj(Op::Add { bits: 16 })
@@ -377,12 +379,17 @@ impl PerfModel {
         let b = cfg.distance_bits();
         let qb = cfg.coeff_bits;
         let update_ns = self.ward_update_kernel_ns();
-        let update_e = 2.0 * c.energy_pj(Op::Write { bits: cfg.size_bits })
-            + 3.0 * c.energy_pj(Op::Add { bits: cfg.size_bits })
-            + 3.0 * c.energy_pj(Op::Div { bits: qb })
-            + 3.0 * c.energy_pj(Op::Mul { bits: qb })
-            + 2.0 * c.energy_pj(Op::Add { bits: b })
-            + 2.0 * c.energy_pj(Op::Write { bits: b });
+        let update_e =
+            2.0 * c.energy_pj(Op::Write {
+                bits: cfg.size_bits,
+            }) + 3.0
+                * c.energy_pj(Op::Add {
+                    bits: cfg.size_bits,
+                })
+                + 3.0 * c.energy_pj(Op::Div { bits: qb })
+                + 3.0 * c.energy_pj(Op::Mul { bits: qb })
+                + 2.0 * c.energy_pj(Op::Add { bits: b })
+                + 2.0 * c.energy_pj(Op::Write { bits: b });
         // The update arithmetic is row-parallel but every row block of
         // the matrix participates: energy scales with the row blocks.
         let row_blocks = (nf / cfg.chip.rows as f64).ceil();
@@ -426,7 +433,10 @@ impl PerfModel {
         report.push(Phase::Hamming, hamming);
         // Accumulation across centers overlaps; one residual per iter.
         let mut accum = EnergyStats::new();
-        accum.record_raw(iters * near.accumulate_ns(), iters * kf * near.accumulate_energy_pj());
+        accum.record_raw(
+            iters * near.accumulate_ns(),
+            iters * kf * near.accumulate_energy_pj(),
+        );
         report.push(Phase::Accumulate, accum);
 
         // Per-point argmin across the k distance columns: pairwise
@@ -490,7 +500,10 @@ impl PerfModel {
         );
         report.push(Phase::Hamming, hamming);
         let mut accum = EnergyStats::new();
-        accum.record_raw(nf / p * near.accumulate_ns(), nf * near.accumulate_energy_pj());
+        accum.record_raw(
+            nf / p * near.accumulate_ns(),
+            nf * near.accumulate_energy_pj(),
+        );
         report.push(Phase::Accumulate, accum);
         let mut nearest = EnergyStats::new();
         nearest.record_raw(
@@ -524,7 +537,11 @@ mod tests {
         let m = model();
         // Counters enabled: 3 column writes (3 ns) dominate the 0.8 ns
         // search.
-        assert!((m.window_eff_ns() - 3.0).abs() < 0.2, "{}", m.window_eff_ns());
+        assert!(
+            (m.window_eff_ns() - 3.0).abs() < 0.2,
+            "{}",
+            m.window_eff_ns()
+        );
         let no_counter = PerfModel::new(DualConfig::paper().without_counters());
         assert!(no_counter.window_eff_ns() > 3.0 * m.window_eff_ns());
     }
@@ -572,8 +589,8 @@ mod tests {
         let m = model();
         let gpu = GpuModel::gtx_1080();
         let (n, feat, k) = (60_000, 784, 10);
-        let s_h = gpu.cost(Algorithm::Hierarchical, n, feat, k, 1).time_s()
-            / m.hierarchical(n).time_s();
+        let s_h =
+            gpu.cost(Algorithm::Hierarchical, n, feat, k, 1).time_s() / m.hierarchical(n).time_s();
         let s_k = gpu.cost(Algorithm::KMeans, n, feat, k, 20).time_s() / m.kmeans(n, k).time_s();
         let s_d = gpu.cost(Algorithm::Dbscan, n, feat, k, 1).time_s() / m.dbscan(n).time_s();
         assert!(s_h > s_k, "hier {s_h} vs kmeans {s_k}");
@@ -585,8 +602,12 @@ mod tests {
     fn replication_helps_until_aggregation_bites() {
         let n = 100_000;
         let t1 = model().hierarchical(n).time_s();
-        let t4 = PerfModel::new(DualConfig::paper().with_copies(4)).hierarchical(n).time_s();
-        let t64 = PerfModel::new(DualConfig::paper().with_copies(64)).hierarchical(n).time_s();
+        let t4 = PerfModel::new(DualConfig::paper().with_copies(4))
+            .hierarchical(n)
+            .time_s();
+        let t64 = PerfModel::new(DualConfig::paper().with_copies(64))
+            .hierarchical(n)
+            .time_s();
         assert!(t4 < t1);
         // Saturation: 64 copies is nowhere near 64× faster.
         assert!(t1 / t64 < 48.0, "speedup {}", t1 / t64);

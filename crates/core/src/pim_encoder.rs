@@ -104,7 +104,11 @@ impl PimEncoder {
         let s = f64::from(1u32 << self.s_bits);
         features
             .iter()
-            .map(|&f| (f * s).round().clamp(-(1 << (W - 10)) as f64, (1 << (W - 10)) as f64) as i64)
+            .map(|&f| {
+                (f * s)
+                    .round()
+                    .clamp(-(1 << (W - 10)) as f64, (1 << (W - 10)) as f64) as i64
+            })
             .collect()
     }
 

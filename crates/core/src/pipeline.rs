@@ -91,7 +91,11 @@ impl StagePipeline {
         let mut prev_drain = 0.0f64;
         let mut makespan = 0.0f64;
         for _ in 0..items {
-            let mut ready = if self.serialize_items { prev_drain } else { 0.0 };
+            let mut ready = if self.serialize_items {
+                prev_drain
+            } else {
+                0.0
+            };
             for s in 0..n_stages {
                 let start = ready.max(stage_free[s]);
                 let end = start + self.service_ns[s];
@@ -196,7 +200,11 @@ mod tests {
         let model = PerfModel::new(cfg);
         let analytic = model.window_eff_ns_public();
         let ratio = sim.per_item_ns() / analytic;
-        assert!((0.9..1.1).contains(&ratio), "sim {} vs analytic {analytic}", sim.per_item_ns());
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "sim {} vs analytic {analytic}",
+            sim.per_item_ns()
+        );
     }
 
     #[test]
@@ -206,7 +214,11 @@ mod tests {
         let model = PerfModel::new(cfg);
         let analytic = model.window_eff_ns_public();
         let ratio = sim.per_item_ns() / analytic;
-        assert!((0.9..1.15).contains(&ratio), "sim {} vs analytic {analytic}", sim.per_item_ns());
+        assert!(
+            (0.9..1.15).contains(&ratio),
+            "sim {} vs analytic {analytic}",
+            sim.per_item_ns()
+        );
         // And it is much slower than the buffered design.
         let buffered = hamming_pipeline(&DualConfig::paper()).simulate(10_000);
         assert!(sim.per_item_ns() > 3.0 * buffered.per_item_ns());
@@ -225,9 +237,16 @@ mod tests {
         let model = PerfModel::new(cfg);
         let analytic = model.nearest_kernel_ns(60_000f64 * 60_000f64)
             + model.ward_update_kernel_ns()
-            + 2.0 * cfg.interconnect.transfer_latency_ns(&cfg.cost, cfg.distance_bits());
+            + 2.0
+                * cfg
+                    .interconnect
+                    .transfer_latency_ns(&cfg.cost, cfg.distance_bits());
         let ratio = t.per_item_ns() / analytic;
-        assert!((0.85..1.15).contains(&ratio), "sim {} vs analytic {analytic}", t.per_item_ns());
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "sim {} vs analytic {analytic}",
+            t.per_item_ns()
+        );
     }
 
     #[test]

@@ -142,7 +142,14 @@ pub fn workload(w: Workload) -> WorkloadSpec {
     let (n_points, n_features, n_clusters, description, separation, label_noise) = match w {
         Workload::Mnist => (60_000, 784, 10, "Handwritten Digits", 2.6, 0.04),
         Workload::Facial => (27_965, 300, 2, "Grammatical Facial Expressions", 2.8, 0.03),
-        Workload::Ucihar => (7_667, 561, 12, "Human Activity Using Smartphones", 2.4, 0.05),
+        Workload::Ucihar => (
+            7_667,
+            561,
+            12,
+            "Human Activity Using Smartphones",
+            2.4,
+            0.05,
+        ),
         Workload::Seizure => (11_500, 178, 5, "Epileptic Seizure", 2.4, 0.08),
         Workload::Sensor => (13_910, 129, 6, "Gas Sensor Array Drift", 2.5, 0.05),
         Workload::Gesture => (9_880, 50, 5, "Gesture Phase Segmentation", 2.4, 0.08),

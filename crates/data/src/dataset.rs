@@ -45,8 +45,12 @@ impl Dataset {
         }
         for f in 0..m {
             let mean: f64 = self.points.iter().map(|p| p[f]).sum::<f64>() / n as f64;
-            let var: f64 =
-                self.points.iter().map(|p| (p[f] - mean).powi(2)).sum::<f64>() / n as f64;
+            let var: f64 = self
+                .points
+                .iter()
+                .map(|p| (p[f] - mean).powi(2))
+                .sum::<f64>()
+                / n as f64;
             let std = var.sqrt();
             for p in &mut self.points {
                 p[f] -= mean;
@@ -150,8 +154,8 @@ impl Dataset {
     #[must_use]
     pub fn split(&self, fraction: f64) -> (Self, Self) {
         assert!(fraction > 0.0 && fraction < 1.0, "fraction in (0,1)");
-        let n_first =
-            (((self.len() as f64) * fraction).round() as usize).clamp(1, self.len().saturating_sub(1));
+        let n_first = (((self.len() as f64) * fraction).round() as usize)
+            .clamp(1, self.len().saturating_sub(1));
         let picked = self.stratified_indices(n_first);
         let taken: std::collections::HashSet<usize> = picked.iter().copied().collect();
         let rest: Vec<usize> = (0..self.len()).filter(|i| !taken.contains(i)).collect();

@@ -109,18 +109,19 @@ pub fn from_csv(name: &str, text: &str) -> Result<Dataset, CsvError> {
         let (feat, label) = cells.split_at(cells.len() - 1);
         let mut row = Vec::with_capacity(feat.len());
         for (c, cell) in feat.iter().enumerate() {
-            row.push(cell.trim().parse::<f64>().map_err(|_| CsvError::BadNumber {
-                line: idx + 1,
-                column: c,
-            })?);
+            row.push(
+                cell.trim()
+                    .parse::<f64>()
+                    .map_err(|_| CsvError::BadNumber {
+                        line: idx + 1,
+                        column: c,
+                    })?,
+            );
         }
-        let l: usize = label[0]
-            .trim()
-            .parse()
-            .map_err(|_| CsvError::BadNumber {
-                line: idx + 1,
-                column: cells.len() - 1,
-            })?;
+        let l: usize = label[0].trim().parse().map_err(|_| CsvError::BadNumber {
+            line: idx + 1,
+            column: cells.len() - 1,
+        })?;
         points.push(row);
         labels.push(l);
     }

@@ -21,6 +21,7 @@
 //! assert_eq!(ds.len(), 600);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;

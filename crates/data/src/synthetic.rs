@@ -67,16 +67,28 @@ impl SyntheticSpec {
     /// outside `[0, 1)`).
     #[must_use]
     pub fn generate(&self, seed: u64) -> Dataset {
-        assert!(self.n_clusters >= 1 && self.n_features >= 1, "degenerate spec");
+        assert!(
+            self.n_clusters >= 1 && self.n_features >= 1,
+            "degenerate spec"
+        );
         assert!((0.0..1.0).contains(&self.noise_rate), "noise_rate in [0,1)");
-        assert!((0.0..1.0).contains(&self.label_noise), "label_noise in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&self.label_noise),
+            "label_noise in [0,1)"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let normal = Normal::new(0.0, 1.0).expect("unit normal");
         let (r_lo, r_hi) = self.radius_range;
         // Box side grows with cluster count so density stays constant.
-        let side = self.separation * r_hi * (self.n_clusters as f64).powf(1.0 / self.n_features.min(8) as f64);
+        let side = self.separation
+            * r_hi
+            * (self.n_clusters as f64).powf(1.0 / self.n_features.min(8) as f64);
         let mut centers: Vec<Vec<f64>> = (0..self.n_clusters)
-            .map(|_| (0..self.n_features).map(|_| rng.gen_range(0.0..side)).collect())
+            .map(|_| {
+                (0..self.n_features)
+                    .map(|_| rng.gen_range(0.0..side))
+                    .collect()
+            })
             .collect();
         // Magnitude structure: some centers are scaled copies of earlier
         // ones — identical direction from the origin, different norm.
@@ -102,7 +114,9 @@ impl SyntheticSpec {
             if rng.gen_bool(self.noise_rate) {
                 // Uniform noise keeps its nearest-center label so quality
                 // metrics stay well-defined.
-                let p: Vec<f64> = (0..self.n_features).map(|_| rng.gen_range(0.0..side)).collect();
+                let p: Vec<f64> = (0..self.n_features)
+                    .map(|_| rng.gen_range(0.0..side))
+                    .collect();
                 let lbl = nearest_center(&p, &centers);
                 points.push(p);
                 labels.push(lbl);
@@ -188,7 +202,8 @@ mod tests {
                         *m += x;
                     }
                 }
-                mean.iter_mut().for_each(|m| *m /= members.len().max(1) as f64);
+                mean.iter_mut()
+                    .for_each(|m| *m /= members.len().max(1) as f64);
                 mean
             })
             .collect();

@@ -318,7 +318,11 @@ mod tests {
 
     #[test]
     fn nearby_points_are_closer_than_far_points() {
-        let m = HdMapper::builder(4000, 8).seed(3).sigma(4.0).build().unwrap();
+        let m = HdMapper::builder(4000, 8)
+            .seed(3)
+            .sigma(4.0)
+            .build()
+            .unwrap();
         let a = [1.0, 2.0, 0.0, -1.0, 0.5, 0.2, 1.1, -0.4];
         let mut near = a;
         near[0] += 0.05;

@@ -134,7 +134,12 @@ impl Hypervector {
 
 impl fmt::Debug for Hypervector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Hypervector(D={}, ones={})", self.dim(), self.bits.count_ones())
+        write!(
+            f,
+            "Hypervector(D={}, ones={})",
+            self.dim(),
+            self.bits.count_ones()
+        )
     }
 }
 

@@ -129,12 +129,9 @@ impl ItemMemory {
     /// clone of it. The item is derived deterministically from the name
     /// and the memory's dimensionality.
     pub fn insert_random(&mut self, name: &str) -> Result<Hypervector, HdcError> {
-        let seed = name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
-            })
-            ^ self.dim as u64;
+        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        }) ^ self.dim as u64;
         let item = random_hypervector(self.dim, seed);
         self.insert(name, item.clone())?;
         Ok(item)

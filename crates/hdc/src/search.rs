@@ -60,12 +60,13 @@ pub fn nearest_parallel(
     candidates: &[Hypervector],
     threads: usize,
 ) -> Option<(usize, usize)> {
-    let chunk_best = dual_pool::par_map_chunks(candidates, threads, |offset, chunk| {
-        match nearest(query, chunk) {
-            Some((i, d)) => vec![(offset + i, d)],
-            None => Vec::new(),
-        }
-    });
+    let chunk_best =
+        dual_pool::par_map_chunks(candidates, threads, |offset, chunk| {
+            match nearest(query, chunk) {
+                Some((i, d)) => vec![(offset + i, d)],
+                None => Vec::new(),
+            }
+        });
     let mut best: Option<(usize, usize)> = None;
     for (i, d) in chunk_best {
         if best.is_none_or(|(_, bd)| d < bd) {

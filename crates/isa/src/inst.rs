@@ -99,10 +99,22 @@ impl Instruction {
         match self {
             Self::SetQInput { .. } => "set_qinput",
             Self::Hamm7 { .. } => "hamm_7",
-            Self::Arith { kind: ArithKind::Add, .. } => "add",
-            Self::Arith { kind: ArithKind::Sub, .. } => "sub",
-            Self::Arith { kind: ArithKind::Mul, .. } => "mul",
-            Self::Arith { kind: ArithKind::Div, .. } => "div",
+            Self::Arith {
+                kind: ArithKind::Add,
+                ..
+            } => "add",
+            Self::Arith {
+                kind: ArithKind::Sub,
+                ..
+            } => "sub",
+            Self::Arith {
+                kind: ArithKind::Mul,
+                ..
+            } => "mul",
+            Self::Arith {
+                kind: ArithKind::Div,
+                ..
+            } => "div",
             Self::NearSearch { .. } => "near_search",
             Self::RowMv { .. } => "row_mv",
         }
@@ -127,17 +139,56 @@ mod tests {
     #[test]
     fn mnemonics_cover_table1() {
         let insts = [
-            Instruction::SetQInput { b: 0, addr: 0, size: 8 },
+            Instruction::SetQInput {
+                b: 0,
+                addr: 0,
+                size: 8,
+            },
             Instruction::Hamm7 { b: 0, c1: 0, c2: 7 },
-            Instruction::Arith { kind: ArithKind::Add, b: 0, d: 0, c1: 0, c2: 0, c3: 0 },
-            Instruction::Arith { kind: ArithKind::Div, b: 0, d: 0, c1: 0, c2: 0, c3: 0 },
-            Instruction::NearSearch { b: 0, nc: 4, c: 0, q: 0 },
-            Instruction::RowMv { b1: 0, r1: 0, c1: 0, b2: 1, r2: 0, c2: 0, nr: 1, nc: 1 },
+            Instruction::Arith {
+                kind: ArithKind::Add,
+                b: 0,
+                d: 0,
+                c1: 0,
+                c2: 0,
+                c3: 0,
+            },
+            Instruction::Arith {
+                kind: ArithKind::Div,
+                b: 0,
+                d: 0,
+                c1: 0,
+                c2: 0,
+                c3: 0,
+            },
+            Instruction::NearSearch {
+                b: 0,
+                nc: 4,
+                c: 0,
+                q: 0,
+            },
+            Instruction::RowMv {
+                b1: 0,
+                r1: 0,
+                c1: 0,
+                b2: 1,
+                r2: 0,
+                c2: 0,
+                nr: 1,
+                nc: 1,
+            },
         ];
         let names: Vec<_> = insts.iter().map(Instruction::mnemonic).collect();
         assert_eq!(
             names,
-            vec!["set_qinput", "hamm_7", "add", "div", "near_search", "row_mv"]
+            vec![
+                "set_qinput",
+                "hamm_7",
+                "add",
+                "div",
+                "near_search",
+                "row_mv"
+            ]
         );
     }
 

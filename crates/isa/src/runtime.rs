@@ -66,14 +66,16 @@ impl Runtime {
         }
         let data_cols = cols / 2;
         Ok(Self {
-            blocks: (0..n_blocks).map(|_| MemoryBlock::new(rows, cols)).collect(),
+            blocks: (0..n_blocks)
+                .map(|_| MemoryBlock::new(rows, cols))
+                .collect(),
 
             data_cols,
             allocator: BlockAllocator::new(n_blocks, rows, data_cols),
             regs: RegisterFile::default(),
             cost: CostModel::paper(),
             stats: EnergyStats::new(),
-        trace: Vec::new(),
+            trace: Vec::new(),
         })
     }
 
@@ -123,7 +125,14 @@ impl Runtime {
         Ok(self.allocator.get(v.id)?.clone())
     }
 
-    fn set_bit(&mut self, al: &Allocation, v: &Vlca, row: usize, bit: usize, value: bool) -> Result<(), IsaError> {
+    fn set_bit(
+        &mut self,
+        al: &Allocation,
+        v: &Vlca,
+        row: usize,
+        bit: usize,
+        value: bool,
+    ) -> Result<(), IsaError> {
         let (tbl, r, c) = al.locate(v.row_offset + row, v.bit_offset + bit);
         let block = al.blocks[tbl];
         self.blocks[block].nor_engine_mut().set_bit(r, c, value)?;
@@ -155,7 +164,12 @@ impl Runtime {
                 self.set_bit(&al, v, row, bit, (val >> bit) & 1 == 1)?;
             }
         }
-        self.stats.record(&self.cost, Op::Write { bits: v.bits() as u32 });
+        self.stats.record(
+            &self.cost,
+            Op::Write {
+                bits: v.bits() as u32,
+            },
+        );
         Ok(())
     }
 
@@ -166,7 +180,9 @@ impl Runtime {
     /// [`IsaError::ShapeMismatch`] when the width exceeds 64 bits.
     pub fn read_values(&self, v: &Vlca) -> Result<Vec<u64>, IsaError> {
         if v.bits() > 64 {
-            return Err(IsaError::ShapeMismatch { what: "read_values" });
+            return Err(IsaError::ShapeMismatch {
+                what: "read_values",
+            });
         }
         let al = self.allocation(v)?;
         let mut out = Vec::with_capacity(v.len());
@@ -209,7 +225,9 @@ impl Runtime {
             return Err(IsaError::ShapeMismatch { what: "read_bits" });
         }
         let al = self.allocation(v)?;
-        (0..v.bits()).map(|bit| self.get_bit(&al, v, row, bit)).collect()
+        (0..v.bits())
+            .map(|bit| self.get_bit(&al, v, row, bit))
+            .collect()
     }
 
     /// The `hamming(input, refs)` built-in (§VII-B): row-parallel
@@ -262,11 +280,18 @@ impl Runtime {
                 c2: end - chunk * al.chunk_bits,
             });
         }
-        self.stats.record_serial(&self.cost, Op::HammingWindow, windows);
-        self.stats.record_serial(&self.cost, Op::Write { bits: 3 }, windows);
+        self.stats
+            .record_serial(&self.cost, Op::HammingWindow, windows);
+        self.stats
+            .record_serial(&self.cost, Op::Write { bits: 3 }, windows);
         if windows > 1 {
-            self.stats
-                .record_serial(&self.cost, Op::Add { bits: out.bits() as u32 }, windows - 1);
+            self.stats.record_serial(
+                &self.cost,
+                Op::Add {
+                    bits: out.bits() as u32,
+                },
+                windows - 1,
+            );
         }
         let out_clone = out.clone();
         self.write_values_uncosted(&out_clone, &dists)?;
@@ -283,19 +308,22 @@ impl Runtime {
         Ok(())
     }
 
-    fn arith(
-        &mut self,
-        kind: ArithKind,
-        a: &Vlca,
-        b: &Vlca,
-        out: &Vlca,
-    ) -> Result<(), IsaError> {
-        if a.len() != b.len() || a.len() != out.len() || a.bits() > 64 || b.bits() > 64 || out.bits() > 64 {
+    fn arith(&mut self, kind: ArithKind, a: &Vlca, b: &Vlca, out: &Vlca) -> Result<(), IsaError> {
+        if a.len() != b.len()
+            || a.len() != out.len()
+            || a.bits() > 64
+            || b.bits() > 64
+            || out.bits() > 64
+        {
             return Err(IsaError::ShapeMismatch { what: "arithmetic" });
         }
         let va = self.read_values(a)?;
         let vb = self.read_values(b)?;
-        let mask = if out.bits() >= 64 { u64::MAX } else { (1u64 << out.bits()) - 1 };
+        let mask = if out.bits() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << out.bits()) - 1
+        };
         let res: Result<Vec<u64>, IsaError> = va
             .iter()
             .zip(&vb)
@@ -401,20 +429,25 @@ impl Runtime {
         active: Option<&[bool]>,
     ) -> Result<(usize, u64), IsaError> {
         if v.is_empty() || v.bits() > 64 {
-            return Err(IsaError::ShapeMismatch { what: "near_search" });
+            return Err(IsaError::ShapeMismatch {
+                what: "near_search",
+            });
         }
         if let Some(m) = active {
             if m.len() != v.len() {
-                return Err(IsaError::ShapeMismatch { what: "near_search mask" });
+                return Err(IsaError::ShapeMismatch {
+                    what: "near_search mask",
+                });
             }
         }
         let values = self.read_values(v)?;
         let all = vec![true; values.len()];
         let mask = active.unwrap_or(&all);
-        let found = cam::nearest_search(&values, mask, target, v.bits() as u32, 4)
-            .ok_or(IsaError::ShapeMismatch {
+        let found = cam::nearest_search(&values, mask, target, v.bits() as u32, 4).ok_or(
+            IsaError::ShapeMismatch {
                 what: "near_search: empty active set",
-            })?;
+            },
+        )?;
         let stages = cam::nearest_search_stages(v.bits() as u32, 4);
         self.stats
             .record_serial(&self.cost, Op::NearestStage, u64::from(stages));
@@ -446,7 +479,9 @@ impl Runtime {
         refs: &Vlca,
     ) -> Result<(Vlca, u32), IsaError> {
         if query.len() != refs.bits() {
-            return Err(IsaError::ShapeMismatch { what: "hamming_partials" });
+            return Err(IsaError::ShapeMismatch {
+                what: "hamming_partials",
+            });
         }
         let al = self.allocation(refs)?;
         self.regs.q = query.to_vec();
@@ -485,7 +520,8 @@ impl Runtime {
                     let start = w * 7;
                     let end = (start + 7).min(refs.bits());
                     let mut count = 0u64;
-                    #[allow(clippy::needless_range_loop)] // bit indexes both query and the stored row
+                    #[allow(clippy::needless_range_loop)]
+                    // bit indexes both query and the stored row
                     for bit in start..end {
                         if self.get_bit(&al, refs, row, bit)? != query[bit] {
                             count += 1;
@@ -522,11 +558,7 @@ impl Runtime {
     ///
     /// [`IsaError::ShapeMismatch`] when the partials VLCA is not
     /// `3 × windows` bits wide.
-    pub fn accumulate_partials(
-        &mut self,
-        partials: &Vlca,
-        windows: u32,
-    ) -> Result<Vlca, IsaError> {
+    pub fn accumulate_partials(&mut self, partials: &Vlca, windows: u32) -> Result<Vlca, IsaError> {
         let w = windows as usize;
         if w == 0 || partials.bits() != 3 * w {
             return Err(IsaError::ShapeMismatch {
@@ -581,13 +613,7 @@ impl Runtime {
     /// # Errors
     ///
     /// [`IsaError::ShapeMismatch`] on ragged shapes or a non-1-bit flag.
-    pub fn select(
-        &mut self,
-        flag: &Vlca,
-        x: &Vlca,
-        y: &Vlca,
-        out: &Vlca,
-    ) -> Result<(), IsaError> {
+    pub fn select(&mut self, flag: &Vlca, x: &Vlca, y: &Vlca, out: &Vlca) -> Result<(), IsaError> {
         if flag.bits() != 1
             || x.len() != flag.len()
             || y.len() != flag.len()
@@ -601,15 +627,23 @@ impl Runtime {
         let f = self.read_values(flag)?;
         let xv = self.read_values(x)?;
         let yv = self.read_values(y)?;
-        let mask = if out.bits() >= 64 { u64::MAX } else { (1u64 << out.bits()) - 1 };
+        let mask = if out.bits() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << out.bits()) - 1
+        };
         let res: Vec<u64> = f
             .iter()
             .zip(xv.iter().zip(&yv))
             .map(|(&fi, (&xi, &yi))| (if fi == 1 { xi } else { yi }) & mask)
             .collect();
         self.write_values_uncosted(out, &res)?;
-        self.stats
-            .record(&self.cost, Op::Add { bits: out.bits() as u32 });
+        self.stats.record(
+            &self.cost,
+            Op::Add {
+                bits: out.bits() as u32,
+            },
+        );
         Ok(())
     }
 
@@ -623,7 +657,9 @@ impl Runtime {
     /// [`IsaError::ShapeMismatch`] for empty or too-wide VLCAs.
     pub fn exact_search(&mut self, v: &Vlca, target: u64) -> Result<Vec<usize>, IsaError> {
         if v.is_empty() || v.bits() > 64 {
-            return Err(IsaError::ShapeMismatch { what: "exact_search" });
+            return Err(IsaError::ShapeMismatch {
+                what: "exact_search",
+            });
         }
         let values = self.read_values(v)?;
         let stages = cam::nearest_search_stages(v.bits() as u32, 4);
@@ -657,8 +693,12 @@ impl Runtime {
         }
         let values = vec![value; v.len()];
         self.write_values_uncosted(v, &values)?;
-        self.stats
-            .record(&self.cost, Op::Write { bits: v.bits() as u32 });
+        self.stats.record(
+            &self.cost,
+            Op::Write {
+                bits: v.bits() as u32,
+            },
+        );
         Ok(())
     }
 
@@ -688,8 +728,12 @@ impl Runtime {
         for (c, col) in columns.iter().enumerate().skip(1) {
             let vals = self.read_values(col)?;
             // One row-parallel subtraction reveals every row's winner.
-            self.stats
-                .record(&self.cost, Op::Sub { bits: first.bits() as u32 });
+            self.stats.record(
+                &self.cost,
+                Op::Sub {
+                    bits: first.bits() as u32,
+                },
+            );
             let al = self.allocation(col)?;
             self.trace.push(Instruction::Arith {
                 kind: ArithKind::Sub,
@@ -727,8 +771,12 @@ impl Runtime {
                 self.set_bit(&al_dst, dst, row, bit, b)?;
             }
         }
-        self.stats
-            .record(&self.cost, Op::Transfer { bits: src.bits() as u32 });
+        self.stats.record(
+            &self.cost,
+            Op::Transfer {
+                bits: src.bits() as u32,
+            },
+        );
         self.trace.push(Instruction::RowMv {
             b1: al_src.blocks[0],
             r1: src.row_offset,
@@ -802,9 +850,16 @@ mod tests {
         rt.write_values(&b, &[10, 100, 3]).unwrap();
         rt.div(&a, &b, &out).unwrap();
         let q = rt.read_values(&out).unwrap();
-        for (i, &(n, d)) in [(1000u64, 10u64), (1000, 100), (1000, 3)].iter().enumerate() {
+        for (i, &(n, d)) in [(1000u64, 10u64), (1000, 100), (1000, 3)]
+            .iter()
+            .enumerate()
+        {
             let truth = n as f64 / d as f64;
-            assert!(q[i] as f64 <= truth && q[i] as f64 >= 0.70 * truth - 1.0, "q[{i}]={}", q[i]);
+            assert!(
+                q[i] as f64 <= truth && q[i] as f64 >= 0.70 * truth - 1.0,
+                "q[{i}]={}",
+                q[i]
+            );
         }
         // Divide by zero is rejected.
         rt.write_values(&b, &[1, 0, 1]).unwrap();
@@ -868,7 +923,10 @@ mod tests {
         let tail = v.slice_rows(3, 6);
         assert_eq!(rt.read_values(&tail).unwrap(), vec![4, 5, 6]);
         let low_nibbles = v.slice_bits(0, 4);
-        assert_eq!(rt.read_values(&low_nibbles).unwrap(), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(
+            rt.read_values(&low_nibbles).unwrap(),
+            vec![1, 2, 3, 4, 5, 6]
+        );
     }
 
     #[test]

@@ -1,0 +1,32 @@
+// Fixture: every R1 pattern in library code, plus an exempt test mod.
+// Analyzed by tests/analyzer.rs under a fake `crates/pim/src/…` path;
+// never compiled (the scanner skips `fixtures/` directories).
+
+pub fn library_code(x: Option<u8>, y: Result<u8, ()>) -> u8 {
+    let a = x.unwrap(); // finding 1
+    let b = y.expect("boom"); // finding 2
+    if a > b {
+        panic!("no"); // finding 3
+    }
+    match a {
+        0 => unreachable!(), // finding 4
+        1 => todo!(), // finding 5
+        _ => a + b,
+    }
+}
+
+pub fn strings_and_comments_do_not_count() -> &'static str {
+    // a comment mentioning .unwrap() and panic! is not a finding
+    "a string mentioning x.unwrap() and panic!(\"no\") is not a finding"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1); // exempt: inside #[cfg(test)]
+        let r: Result<u8, ()> = Ok(2);
+        assert_eq!(r.expect("fine in tests"), 2); // exempt
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture: hash-ordered collections and wall-clock reads. Flagged only
+// when analyzed under a result-producing crate path (pim/cluster/core/
+// hdc); silent under e.g. crates/bench/.
+
+use std::collections::{HashMap, HashSet}; // findings: HashMap, HashSet
+use std::time::{Instant, SystemTime}; // findings: Instant, SystemTime
+
+pub fn nondeterministic_aggregation(xs: &[f64]) -> f64 {
+    let mut m: HashMap<u64, f64> = HashMap::new(); // findings: 2× HashMap
+    for (i, &x) in xs.iter().enumerate() {
+        *m.entry(i as u64 % 3).or_default() += x;
+    }
+    let mut seen = HashSet::new(); // finding: HashSet
+    seen.insert(1u64);
+    m.values().sum()
+}
+
+pub fn wall_clock_dependence() -> bool {
+    let t0 = Instant::now(); // finding: Instant
+    let _ = SystemTime::now(); // finding: SystemTime
+    t0.elapsed().as_nanos() > 0
+}

@@ -1,0 +1,13 @@
+// Fixture: numeric `as` casts. Flagged only when analyzed under a path
+// listed in RuleConfig::cast_audited_files (the cost-model files).
+
+pub fn lossy_casts(n: u64, x: f64) -> (f64, u32, usize) {
+    let a = n as f64; // finding
+    let b = x as u32; // finding
+    let c = n as usize; // finding
+    (a, b, c)
+}
+
+pub fn non_numeric_casts_are_fine(p: &u8) -> *const u8 {
+    p as *const u8 // no finding: not a numeric primitive target
+}

@@ -1,0 +1,11 @@
+// Fixture: unsafe in a shim — allowed only with a SAFETY comment on or
+// directly above the line. Analyzed under a fake `shims/…` path.
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads (test fixture).
+    unsafe { *p } // no finding: covered by the SAFETY comment above
+}
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p } // finding: undocumented unsafety
+}

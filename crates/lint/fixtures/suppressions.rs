@@ -1,0 +1,23 @@
+// Fixture: the suppression grammar, exercised both ways.
+
+pub fn suppressed_sites(x: Option<u8>) -> u8 {
+    // lint:allow(r1-panic): fixture demonstrates an own-line suppression
+    let a = x.unwrap();
+    let b = x.unwrap(); // lint:allow(r1-panic): and a trailing one
+    a + b
+}
+
+pub fn unsuppressed_site(x: Option<u8>) -> u8 {
+    x.unwrap() // finding: no suppression
+}
+
+// lint:allow(r1-panic): nothing below violates — this one is UNUSED
+pub fn clean(x: u8) -> u8 {
+    x + 1
+}
+
+pub fn malformed() -> u8 {
+    // lint:allow(not-a-rule): unknown rule id — config error
+    // lint:allow(r1-panic) missing-colon-and-reason — config error
+    7
+}

@@ -1,0 +1,247 @@
+//! The burn-down baseline: a checked-in ledger of pre-existing debt.
+//!
+//! `lint-baseline.toml` maps `[rule-id]` sections to
+//! `"workspace/relative/path.rs" = count` entries. The gate fails when
+//! a file's *actual* unsuppressed violation count for a rule
+//!
+//! * **exceeds** its baseline entry — new debt is rejected immediately;
+//! * **falls below** it — the baseline over-states debt and must be
+//!   regenerated (`--write-baseline`), so the ratchet only moves down.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::RuleId;
+
+/// Per-rule, per-file violation counts.
+pub type Counts = BTreeMap<String, BTreeMap<String, u64>>;
+
+/// Parsed baseline file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `rule id → file → allowed count`.
+    pub counts: Counts,
+}
+
+/// One baseline/actual mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Drift {
+    /// More violations than the baseline allows: new debt.
+    NewDebt {
+        /// Rule id.
+        rule: String,
+        /// Workspace-relative file.
+        file: String,
+        /// Current unsuppressed count.
+        actual: u64,
+        /// Baselined count.
+        allowed: u64,
+    },
+    /// Fewer violations than baselined: ratchet the baseline down.
+    Overstated {
+        /// Rule id.
+        rule: String,
+        /// Workspace-relative file.
+        file: String,
+        /// Current unsuppressed count.
+        actual: u64,
+        /// Baselined count.
+        allowed: u64,
+    },
+}
+
+impl Drift {
+    /// Whether this drift represents new debt (as opposed to an
+    /// over-stated baseline).
+    #[must_use]
+    pub fn is_new_debt(&self) -> bool {
+        matches!(self, Self::NewDebt { .. })
+    }
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NewDebt {
+                rule,
+                file,
+                actual,
+                allowed,
+            } => write!(
+                f,
+                "{file}: [{rule}] {actual} violation(s), baseline allows {allowed} — \
+                 fix the new violation(s) or add a justified `lint:allow`"
+            ),
+            Self::Overstated {
+                rule,
+                file,
+                actual,
+                allowed,
+            } => write!(
+                f,
+                "{file}: [{rule}] baseline allows {allowed} but only {actual} remain — \
+                 run `cargo run -p dual-lint --release -- check --write-baseline` to \
+                 lock in the progress"
+            ),
+        }
+    }
+}
+
+impl Baseline {
+    /// Parse the baseline file format. Returns an error string with a
+    /// 1-based line number on malformed input.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut counts: Counts = BTreeMap::new();
+        let mut section: Option<String> = None;
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(id) = rest.strip_suffix(']') else {
+                    return Err(format!("line {}: unterminated section header", n + 1));
+                };
+                let id = id.trim();
+                let Some(rule) = RuleId::from_id(id) else {
+                    return Err(format!("line {}: unknown rule id `{id}`", n + 1));
+                };
+                if !rule.baselinable() {
+                    return Err(format!("line {}: rule `{id}` cannot be baselined", n + 1));
+                }
+                section = Some(id.to_string());
+                counts.entry(id.to_string()).or_default();
+                continue;
+            }
+            let Some(rule) = section.clone() else {
+                return Err(format!("line {}: entry before any [rule] section", n + 1));
+            };
+            let Some((key, val)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `\"path\" = count`", n + 1));
+            };
+            let key = key.trim();
+            let Some(path) = key.strip_prefix('"').and_then(|k| k.strip_suffix('"')) else {
+                return Err(format!("line {}: path must be double-quoted", n + 1));
+            };
+            let count: u64 = val
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad count: {e}", n + 1))?;
+            if count == 0 {
+                return Err(format!(
+                    "line {}: zero-count entries are not allowed (delete the line)",
+                    n + 1
+                ));
+            }
+            let per_file = counts.entry(rule).or_default();
+            if per_file.insert(path.to_string(), count).is_some() {
+                return Err(format!("line {}: duplicate entry for `{path}`", n + 1));
+            }
+        }
+        Ok(Self { counts })
+    }
+
+    /// Serialize in the canonical (sorted, regenerable) form.
+    #[must_use]
+    pub fn serialize(&self) -> String {
+        let mut out = String::from(
+            "# dual-lint burn-down baseline — pre-existing debt, per rule and file.\n\
+             # Regenerate after paying debt down:\n\
+             #   cargo run -p dual-lint --release -- check --write-baseline\n\
+             # The gate fails when a file exceeds its entry (new debt) OR falls\n\
+             # below it (over-stated baseline): the ratchet only moves down.\n",
+        );
+        for (rule, files) in &self.counts {
+            if files.is_empty() {
+                continue;
+            }
+            let _ = write!(out, "\n[{rule}]\n");
+            for (file, count) in files {
+                let _ = writeln!(out, "\"{file}\" = {count}");
+            }
+        }
+        out
+    }
+
+    /// Build a baseline that exactly matches `actual` counts.
+    #[must_use]
+    pub fn from_counts(actual: &Counts) -> Self {
+        let mut counts: Counts = BTreeMap::new();
+        for (rule, files) in actual {
+            let nonzero: BTreeMap<String, u64> = files
+                .iter()
+                .filter(|(_, &c)| c > 0)
+                .map(|(f, &c)| (f.clone(), c))
+                .collect();
+            if !nonzero.is_empty() {
+                counts.insert(rule.clone(), nonzero);
+            }
+        }
+        Self { counts }
+    }
+
+    /// Compare actual counts against the baseline; an empty result means
+    /// the gate passes.
+    #[must_use]
+    pub fn compare(&self, actual: &Counts) -> Vec<Drift> {
+        let mut drifts = Vec::new();
+        // New debt: actual over baseline.
+        for (rule, files) in actual {
+            for (file, &count) in files {
+                if count == 0 {
+                    continue;
+                }
+                let allowed = self
+                    .counts
+                    .get(rule)
+                    .and_then(|m| m.get(file))
+                    .copied()
+                    .unwrap_or(0);
+                if count > allowed {
+                    drifts.push(Drift::NewDebt {
+                        rule: rule.clone(),
+                        file: file.clone(),
+                        actual: count,
+                        allowed,
+                    });
+                }
+            }
+        }
+        // Over-stated baseline: allowed over actual (including files that
+        // no longer violate, or no longer exist).
+        for (rule, files) in &self.counts {
+            for (file, &allowed) in files {
+                let count = actual
+                    .get(rule)
+                    .and_then(|m| m.get(file))
+                    .copied()
+                    .unwrap_or(0);
+                if count < allowed {
+                    drifts.push(Drift::Overstated {
+                        rule: rule.clone(),
+                        file: file.clone(),
+                        actual: count,
+                        allowed,
+                    });
+                }
+            }
+        }
+        drifts.sort_by_key(|d| match d {
+            Drift::NewDebt { rule, file, .. } | Drift::Overstated { rule, file, .. } => {
+                (rule.clone(), file.clone())
+            }
+        });
+        drifts
+    }
+
+    /// Total baselined debt for files under `prefix` (e.g. `crates/pim`).
+    #[must_use]
+    pub fn debt_under(&self, prefix: &str) -> u64 {
+        self.counts
+            .values()
+            .flat_map(|files| files.iter())
+            .filter(|(f, _)| f.starts_with(prefix))
+            .map(|(_, &c)| c)
+            .sum()
+    }
+}

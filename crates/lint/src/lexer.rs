@@ -1,0 +1,414 @@
+//! A small hand-rolled Rust lexer — just enough token structure for the
+//! `dual-lint` rules.
+//!
+//! The lexer understands exactly the places where rule keywords must
+//! *not* be matched: string literals (plain, raw, byte), char literals
+//! vs. lifetimes, and line/block comments (including nesting). It makes
+//! no attempt to parse expressions; rules pattern-match over the flat
+//! token stream plus the retained comment list.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`unwrap`, `as`, `unsafe`, `mod`, …).
+    Ident(String),
+    /// Single punctuation character (`.`, `!`, `(`, `[`, …).
+    Punct(char),
+    /// Any literal: string, char, or number. Contents are irrelevant to
+    /// the rules, only the fact that they are *not* code.
+    Literal,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token payload.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A retained comment (line or block, doc or plain).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equal to `line` for `//`).
+    pub end_line: u32,
+    /// Raw comment text without the `//` / `/* */` markers.
+    pub text: String,
+    /// Whether the comment is the first non-whitespace content on its
+    /// starting line (an "own-line" comment, as opposed to trailing).
+    pub own_line: bool,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+    /// `code_lines[l]` is true when 1-based line `l` holds at least one
+    /// code token (index 0 unused).
+    pub code_lines: Vec<bool>,
+}
+
+impl LexOutput {
+    /// First line strictly after `line` that contains code, if any.
+    #[must_use]
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        let start = line as usize + 1;
+        (start..self.code_lines.len())
+            .find(|&l| self.code_lines[l])
+            .map(|l| l as u32)
+    }
+}
+
+/// Lex `src` into tokens and comments.
+#[must_use]
+pub fn lex(src: &str) -> LexOutput {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    bytes: &'s [u8],
+    src: &'s str,
+    i: usize,
+    line: u32,
+    line_has_code: bool,
+    out: LexOutput,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Self {
+            bytes: src.as_bytes(),
+            src,
+            i: 0,
+            line: 1,
+            line_has_code: false,
+            out: LexOutput::default(),
+        }
+    }
+
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.i + off).copied()
+    }
+
+    fn mark_code(&mut self) {
+        let l = self.line as usize;
+        if self.out.code_lines.len() <= l {
+            self.out.code_lines.resize(l + 1, false);
+        }
+        self.out.code_lines[l] = true;
+        self.line_has_code = true;
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.i += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.line_has_code = false;
+        }
+        Some(b)
+    }
+
+    fn push_tok(&mut self, tok: Tok, line: u32) {
+        self.out.tokens.push(Token { tok, line });
+    }
+
+    fn run(mut self) -> LexOutput {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\n' | b'\r' | b' ' | b'\t' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string_literal(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.raw_or_byte_literal_ahead() => self.raw_or_byte_literal(),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(),
+                b'0'..=b'9' => self.number(),
+                _ => {
+                    let line = self.line;
+                    self.mark_code();
+                    self.bump();
+                    self.push_tok(Tok::Punct(b as char), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let own_line = !self.line_has_code;
+        let start = self.i + 2;
+        self.bump();
+        self.bump();
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = self.src[start..self.i].to_string();
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+            own_line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let own_line = !self.line_has_code;
+        let start = self.i + 2;
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        let mut end = self.i;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    end = self.i;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => {
+                    end = self.i;
+                    break;
+                }
+            }
+        }
+        let text = self.src[start..end.max(start)].to_string();
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+            own_line,
+        });
+    }
+
+    fn string_literal(&mut self) {
+        let line = self.line;
+        self.mark_code();
+        self.bump(); // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        self.push_tok(Tok::Literal, line);
+    }
+
+    /// True when the cursor sits on `r"`, `r#`, `b"`, `b'`, `br"`,
+    /// `br#` — i.e. a raw/byte literal rather than an identifier.
+    fn raw_or_byte_literal_ahead(&self) -> bool {
+        let (first, mut k) = (self.peek(0), 1);
+        if first == Some(b'b') && self.peek(1) == Some(b'r') {
+            k = 2;
+        }
+        match self.peek(k) {
+            Some(b'"') => true,
+            Some(b'\'') => first == Some(b'b'),
+            Some(b'#') => {
+                // Raw string with hashes: r#"…"# / br##"…"##. Require the
+                // hashes to terminate in a quote so `r#ident` (raw
+                // identifier) is lexed as an identifier instead.
+                let mut j = k;
+                while self.peek(j) == Some(b'#') {
+                    j += 1;
+                }
+                self.peek(j) == Some(b'"')
+            }
+            _ => false,
+        }
+    }
+
+    fn raw_or_byte_literal(&mut self) {
+        let line = self.line;
+        self.mark_code();
+        let mut raw = false;
+        if self.peek(0) == Some(b'b') {
+            self.bump();
+        }
+        if self.peek(0) == Some(b'r') {
+            raw = true;
+            self.bump();
+        }
+        if self.peek(0) == Some(b'\'') {
+            // byte char literal b'x'
+            self.bump();
+            while let Some(b) = self.peek(0) {
+                match b {
+                    b'\\' => {
+                        self.bump();
+                        self.bump();
+                    }
+                    b'\'' => {
+                        self.bump();
+                        break;
+                    }
+                    _ => {
+                        self.bump();
+                    }
+                }
+            }
+            self.push_tok(Tok::Literal, line);
+            return;
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        if raw {
+            // Scan to `"` followed by `hashes` hash marks; no escapes.
+            'outer: while let Some(b) = self.peek(0) {
+                if b == b'"' {
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if self.peek(1 + h) != Some(b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        self.bump();
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break 'outer;
+                    }
+                }
+                self.bump();
+            }
+        } else {
+            // b"…" with escapes.
+            while let Some(b) = self.peek(0) {
+                match b {
+                    b'\\' => {
+                        self.bump();
+                        self.bump();
+                    }
+                    b'"' => {
+                        self.bump();
+                        break;
+                    }
+                    _ => {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        self.push_tok(Tok::Literal, line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.mark_code();
+        // `'` + escape ⇒ char. `'x'` ⇒ char. Otherwise a lifetime.
+        let is_char = matches!(
+            (self.peek(1), self.peek(2)),
+            (Some(b'\\'), _) | (Some(_), Some(b'\''))
+        );
+        if is_char {
+            self.bump(); // '
+            while let Some(b) = self.peek(0) {
+                match b {
+                    b'\\' => {
+                        self.bump();
+                        self.bump();
+                    }
+                    b'\'' => {
+                        self.bump();
+                        break;
+                    }
+                    _ => {
+                        self.bump();
+                    }
+                }
+            }
+            self.push_tok(Tok::Literal, line);
+        } else {
+            self.bump(); // '
+            while let Some(b) = self.peek(0) {
+                if b.is_ascii_alphanumeric() || b == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push_tok(Tok::Lifetime, line);
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        self.mark_code();
+        let start = self.i;
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = self.src[start..self.i].to_string();
+        self.push_tok(Tok::Ident(text), line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        self.mark_code();
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else if b == b'.' {
+                // `1.5` continues the literal; `1..5` and `7.min(x)` end it.
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else if (b == b'+' || b == b'-')
+                && matches!(self.bytes.get(self.i.wrapping_sub(1)), Some(b'e' | b'E'))
+                && matches!(self.peek(1), Some(d) if d.is_ascii_digit())
+            {
+                // Exponent sign inside a float such as `1e-9`.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_tok(Tok::Literal, line);
+    }
+}

@@ -65,6 +65,8 @@ impl ChipConfig {
     /// data block plus 15 distance blocks (Fig. 8).
     #[must_use]
     pub fn blocks_per_tile_row(&self) -> usize {
+        // lint:allow(r3-lossy-cast): block counts ≪ 2^53; rounded sqrt
+        // of a non-negative count fits usize
         (self.blocks_per_tile as f64).sqrt().round() as usize
     }
 
@@ -95,7 +97,9 @@ impl ComponentBudget {
     #[must_use]
     pub fn times(self, n: usize) -> Self {
         Self {
+            // lint:allow(r3-lossy-cast): replication counts ≪ 2^53
             area_um2: self.area_um2 * n as f64,
+            // lint:allow(r3-lossy-cast): replication counts ≪ 2^53
             power_mw: self.power_mw * n as f64,
         }
     }
@@ -222,8 +226,18 @@ impl AreaPowerModel {
                 self.sense_amps.area_um2,
                 self.sense_amps.power_mw,
             ),
-            ("Counter", "1".to_string(), self.counter.area_um2, self.counter.power_mw),
-            ("Memory Block", "1".to_string(), block.area_um2, block.power_mw),
+            (
+                "Counter",
+                "1".to_string(),
+                self.counter.area_um2,
+                self.counter.power_mw,
+            ),
+            (
+                "Memory Block",
+                "1".to_string(),
+                block.area_um2,
+                block.power_mw,
+            ),
             (
                 "Tile Memory",
                 format!("{} blocks", config.blocks_per_tile),
@@ -291,7 +305,11 @@ mod tests {
         let m = AreaPowerModel::paper();
         let cfg = ChipConfig::paper();
         let tile_mem = m.tile_memory(cfg);
-        assert!((tile_mem.area_um2 * 1e-6 - 0.82).abs() < 0.01, "{}", tile_mem.area_um2);
+        assert!(
+            (tile_mem.area_um2 * 1e-6 - 0.82).abs() < 0.01,
+            "{}",
+            tile_mem.area_um2
+        );
         assert!((tile_mem.power_mw * 1e-3 - 1.57).abs() < 0.01);
         let tile = m.tile(cfg);
         assert!((tile.area_um2 * 1e-6 - 0.84).abs() / 0.84 < 0.02);
@@ -321,7 +339,10 @@ mod tests {
 
     #[test]
     fn budget_algebra() {
-        let a = ComponentBudget { area_um2: 1.0, power_mw: 2.0 };
+        let a = ComponentBudget {
+            area_um2: 1.0,
+            power_mw: 2.0,
+        };
         let b = a.times(3).plus(a);
         assert_eq!(b.area_um2, 4.0);
         assert_eq!(b.power_mw, 8.0);

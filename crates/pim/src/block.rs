@@ -33,8 +33,13 @@ impl MemoryBlock {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "block geometry must be non-zero");
+        #[allow(clippy::expect_used)]
+        let engine = NorEngine::new(rows, cols)
+            // lint:allow(r1-panic): NorEngine::new only fails on zero dimensions, asserted above
+            .expect("unreachable: dimensions asserted non-zero");
         Self {
-            engine: NorEngine::new(rows, cols).expect("block geometry must be non-zero"),
+            engine,
             schedule: SamplingSchedule::paper(),
             discharge: MlDischargeModel::paper(),
         }
@@ -92,7 +97,7 @@ impl MemoryBlock {
     pub fn write_row_bits(&mut self, r: usize, bits: &[bool]) {
         assert!(bits.len() <= self.cols(), "row data wider than block");
         for (c, &b) in bits.iter().enumerate() {
-            self.engine.set_bit(r, c, b).expect("validated above");
+            self.engine.write_bit(r, c, b);
         }
     }
 
@@ -103,9 +108,8 @@ impl MemoryBlock {
     /// Panics if the row or width is out of range.
     #[must_use]
     pub fn read_row_bits(&self, r: usize, width: usize) -> Vec<bool> {
-        (0..width)
-            .map(|c| self.engine.get_bit(r, c).expect("caller-validated range"))
-            .collect()
+        assert!(width <= self.cols(), "width overruns block");
+        (0..width).map(|c| self.engine.bit(r, c)).collect()
     }
 
     /// CAM mode: one Hamming window search (§IV-A1). Compares
@@ -127,18 +131,21 @@ impl MemoryBlock {
             !query.is_empty() && query.len() <= 7,
             "hardware windows are 1..=7 bits"
         );
-        assert!(start_col + query.len() <= self.cols(), "window overruns block");
+        assert!(
+            start_col + query.len() <= self.cols(),
+            "window overruns block"
+        );
         let w = query.len() as u32;
         (0..self.rows())
             .map(|r| {
                 let mismatches = query
                     .iter()
                     .enumerate()
-                    .filter(|&(k, &q)| {
-                        self.engine.get_bit(r, start_col + k).expect("in range") != q
-                    })
+                    .filter(|&(k, &q)| self.engine.bit(r, start_col + k) != q)
                     .count() as u32;
-                self.schedule.detect(self.discharge, mismatches, w).reported()
+                self.schedule
+                    .detect(self.discharge, mismatches, w)
+                    .reported()
             })
             .collect()
     }
@@ -150,7 +157,11 @@ impl MemoryBlock {
     ///
     /// As [`MemoryBlock::cam_hamming_window`].
     #[must_use]
-    pub fn cam_hamming_window_detections(&self, query: &[bool], start_col: usize) -> Vec<Detection> {
+    pub fn cam_hamming_window_detections(
+        &self,
+        query: &[bool],
+        start_col: usize,
+    ) -> Vec<Detection> {
         assert!(!query.is_empty() && query.len() <= 7);
         assert!(start_col + query.len() <= self.cols());
         let w = query.len() as u32;
@@ -159,9 +170,7 @@ impl MemoryBlock {
                 let mismatches = query
                     .iter()
                     .enumerate()
-                    .filter(|&(k, &q)| {
-                        self.engine.get_bit(r, start_col + k).expect("in range") != q
-                    })
+                    .filter(|&(k, &q)| self.engine.bit(r, start_col + k) != q)
                     .count() as u32;
                 self.schedule.detect(self.discharge, mismatches, w)
             })
@@ -207,12 +216,16 @@ impl MemoryBlock {
     #[must_use]
     pub fn cam_exact_match(&self, query: &[bool], start_col: usize) -> Vec<usize> {
         assert!(!query.is_empty(), "query must be non-empty");
-        assert!(start_col + query.len() <= self.cols(), "window overruns block");
+        assert!(
+            start_col + query.len() <= self.cols(),
+            "window overruns block"
+        );
         (0..self.rows())
             .filter(|&r| {
-                query.iter().enumerate().all(|(k, &q)| {
-                    self.engine.get_bit(r, start_col + k).expect("in range") == q
-                })
+                query
+                    .iter()
+                    .enumerate()
+                    .all(|(k, &q)| self.engine.bit(r, start_col + k) == q)
             })
             .collect()
     }
@@ -325,9 +338,7 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(got, (3, 7));
-        assert!(b
-            .nearest_search_field(&cols, &[true; 3], 0)
-            .is_err());
+        assert!(b.nearest_search_field(&cols, &[true; 3], 0).is_err());
     }
 
     #[test]
@@ -338,7 +349,10 @@ mod tests {
         b.write_row_bits(2, &[true, false, true]);
         b.write_row_bits(3, &[false, false, true]);
         assert_eq!(b.cam_exact_match(&[true, false, true], 0), vec![0, 2]);
-        assert_eq!(b.cam_exact_match(&[false, true, false], 0), Vec::<usize>::new());
+        assert_eq!(
+            b.cam_exact_match(&[false, true, false], 0),
+            Vec::<usize>::new()
+        );
         // Offset windows work too.
         assert_eq!(b.cam_exact_match(&[false, true], 1), vec![0, 2, 3]);
     }

@@ -97,7 +97,7 @@ impl SamplingSchedule {
                 let mut times: Vec<f64> = (1..=window_bits)
                     .map(|m| model.discharge_time_ps(m))
                     .collect();
-                times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                times.sort_by(f64::total_cmp);
                 times
             }
         }
@@ -125,12 +125,7 @@ impl SamplingSchedule {
     /// Simulate detection of a row with `mismatches` mismatching cells
     /// in a `window_bits`-wide window.
     #[must_use]
-    pub fn detect(
-        &self,
-        model: MlDischargeModel,
-        mismatches: u32,
-        window_bits: u32,
-    ) -> Detection {
+    pub fn detect(&self, model: MlDischargeModel, mismatches: u32, window_bits: u32) -> Detection {
         debug_assert!(mismatches <= window_bits);
         if mismatches == 0 {
             return Detection::Exact(0);
@@ -159,9 +154,11 @@ impl SamplingSchedule {
         match candidates.as_slice() {
             [only] => Detection::Exact(*only as u8),
             [] => Detection::Exact(mismatches as u8),
-            many => Detection::Ambiguous {
-                lo: *many.iter().min().expect("non-empty") as u8,
-                hi: *many.iter().max().expect("non-empty") as u8,
+            // Candidates are generated in ascending mismatch order, so
+            // the interval bounds are simply the first and last entries.
+            [first, .., last] => Detection::Ambiguous {
+                lo: *first as u8,
+                hi: *last as u8,
             },
         }
     }
@@ -236,7 +233,11 @@ pub fn nearest_search(
         let hi = bits - stage * stage_bits;
         let lo = hi.saturating_sub(stage_bits);
         let width = hi - lo;
-        let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let q_nib = (query >> lo) & mask;
         // Weighted match score: matching bit of significance k within the
         // group scores 2^k (the voltage ladder).
@@ -244,13 +245,17 @@ pub fn nearest_search(
             let nib = (v >> lo) & mask;
             !(nib ^ q_nib) & mask
         };
-        let best = alive.iter().map(|&i| score(values[i])).max().expect("alive non-empty");
+        // `alive` is never emptied: `retain` keeps every row achieving
+        // the maximum, and at least one row does.
+        let Some(best) = alive.iter().map(|&i| score(values[i])).max() else {
+            break;
+        };
         alive.retain(|&i| score(values[i]) == best);
         if alive.len() == 1 {
             break;
         }
     }
-    let idx = *alive.iter().min().expect("alive non-empty");
+    let idx = alive.into_iter().min()?;
     Some((idx, values[idx]))
 }
 

@@ -11,13 +11,14 @@ use crate::cost::{CostModel, Op};
 use crate::tile::Tile;
 use crate::PimError;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One DUAL chip: a lazily materialized grid of tiles.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Chip {
     config: ChipConfig,
-    tiles: HashMap<usize, Tile>,
+    // BTreeMap for deterministic tile iteration order (dual-lint r2).
+    tiles: BTreeMap<usize, Tile>,
 }
 
 /// Inter-tile transfers traverse the chip-level interconnect; the
@@ -31,7 +32,7 @@ impl Chip {
     pub fn new(config: ChipConfig) -> Self {
         Self {
             config,
-            tiles: HashMap::new(),
+            tiles: BTreeMap::new(),
         }
     }
 
@@ -111,9 +112,7 @@ impl Chip {
                 db.nor_engine_mut().set_bit(r, dst_col + w, b)?;
             }
         }
-        Ok(cost.latency_ns(Op::Transfer {
-            bits: width as u32,
-        }) * INTER_TILE_HOP_FACTOR)
+        Ok(cost.latency_ns(Op::Transfer { bits: width as u32 }) * INTER_TILE_HOP_FACTOR)
     }
 }
 

@@ -26,7 +26,7 @@ use serde::{Deserialize, Serialize};
 
 /// One row-parallel PIM operation on a block, the unit of cost
 /// accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum Op {
     /// One 7-bit Hamming window search over all rows (§IV-A1).
@@ -171,9 +171,13 @@ impl CostModel {
             Op::HammingWindow => 3,
             Op::NearestStage | Op::Transfer { .. } => 1,
             Op::Add { bits } | Op::Sub { bits } => {
+                // lint:allow(r3-lossy-cast): ceil of a small positive
+                // column count, always well inside u32 range
                 (anchor::ADD8.2 * f64::from(bits) / 8.0).ceil() as u32
             }
+            // lint:allow(r3-lossy-cast): ceil of a small positive column count
             Op::Mul { bits } => (anchor::MUL8.2 * (f64::from(bits) / 8.0).powi(2)).ceil() as u32,
+            // lint:allow(r3-lossy-cast): ceil of a small positive column count
             Op::Div { bits } => (anchor::DIV8.2 * (f64::from(bits) / 8.0).powi(2)).ceil() as u32,
             Op::Write { .. } => 0,
         }
@@ -269,13 +273,15 @@ mod tests {
     fn variation_derates_latency_and_energy() {
         let worst = CostModel::with_variation(DeviceVariation::new(0.5));
         let nom = CostModel::paper();
-        assert!((worst.latency_ns(Op::NearestStage) / nom.latency_ns(Op::NearestStage) - 1.75)
-            .abs()
-            < 1e-9);
-        assert!((worst.latency_ns(Op::Add { bits: 8 }) / nom.latency_ns(Op::Add { bits: 8 })
-            - 1.8)
-            .abs()
-            < 1e-9);
+        assert!(
+            (worst.latency_ns(Op::NearestStage) / nom.latency_ns(Op::NearestStage) - 1.75).abs()
+                < 1e-9
+        );
+        assert!(
+            (worst.latency_ns(Op::Add { bits: 8 }) / nom.latency_ns(Op::Add { bits: 8 }) - 1.8)
+                .abs()
+                < 1e-9
+        );
         assert!(worst.energy_pj(Op::HammingWindow) > nom.energy_pj(Op::HammingWindow));
     }
 

@@ -38,6 +38,10 @@
 //! assert_eq!(counts[1], 7); // row 1 mismatches all 7 bits
 //! ```
 
+#![forbid(unsafe_code)]
+// This crate's unwrap/expect debt is burned to zero: deny outright.
+// (Test code is exempt via .clippy.toml allow-*-in-tests keys.)
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 #![warn(missing_docs)]
 
 pub mod arch;

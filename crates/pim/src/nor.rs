@@ -151,7 +151,37 @@ impl NorEngine {
     pub fn get_bit(&self, row: usize, col: usize) -> Result<bool, PimError> {
         self.check_row(row)?;
         self.check_col(col)?;
-        Ok((self.cols[col][row / 64] >> (row % 64)) & 1 == 1)
+        Ok(self.bit(row, col))
+    }
+
+    /// Read one bit, with the bounds contract on the caller — the
+    /// assert-validated counterpart of [`NorEngine::get_bit`] for hot
+    /// paths that have already range-checked a whole window.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via slice indexing) when `row`/`col` are out of range.
+    #[must_use]
+    pub fn bit(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        (self.cols[col][row / 64] >> (row % 64)) & 1 == 1
+    }
+
+    /// Write one bit, with the bounds contract on the caller — the
+    /// assert-validated counterpart of [`NorEngine::set_bit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (via slice indexing) when `row`/`col` are out of range.
+    pub fn write_bit(&mut self, row: usize, col: usize, value: bool) {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        let w = &mut self.cols[col][row / 64];
+        let m = 1u64 << (row % 64);
+        if value {
+            *w |= m;
+        } else {
+            *w &= !m;
+        }
     }
 
     /// Write one bit (a cell write, not a NOR cycle).
@@ -689,7 +719,7 @@ impl NorEngine {
 pub fn div_approx(numerator: u64, divisor: u64) -> u64 {
     assert!(divisor != 0, "division by zero");
     let bit_len = 64 - divisor.leading_zeros(); // L ≥ 1; divisor = x · 2^L
-    // Normalized divisor x ∈ [0.5, 1) in Q32 fixed point.
+                                                // Normalized divisor x ∈ [0.5, 1) in Q32 fixed point.
     let x_q32: u64 = if bit_len >= 32 {
         divisor >> (bit_len - 32)
     } else {
@@ -754,8 +784,16 @@ mod tests {
                     e.set_bit(0, 2, c).unwrap();
                     e.full_adder(0, 1, 2, 3, 4, 10).unwrap();
                     let total = u8::from(a) + u8::from(b) + u8::from(c);
-                    assert_eq!(e.get_bit(0, 3).unwrap(), total & 1 == 1, "sum a={a} b={b} c={c}");
-                    assert_eq!(e.get_bit(0, 4).unwrap(), total >= 2, "carry a={a} b={b} c={c}");
+                    assert_eq!(
+                        e.get_bit(0, 3).unwrap(),
+                        total & 1 == 1,
+                        "sum a={a} b={b} c={c}"
+                    );
+                    assert_eq!(
+                        e.get_bit(0, 4).unwrap(),
+                        total >= 2,
+                        "carry a={a} b={b} c={c}"
+                    );
                     assert_eq!(e.nor_cycles(), 12, "Eq. 1 costs 12 NOR cycles");
                 }
             }
@@ -772,8 +810,10 @@ mod tests {
         let a = field(0, 8);
         let b = field(8, 8);
         let out = field(16, 9);
-        e.write_field_all(&a, &[200, 255, 0, 1, 100, 50, 255, 128]).unwrap();
-        e.write_field_all(&b, &[100, 255, 0, 1, 28, 50, 1, 128]).unwrap();
+        e.write_field_all(&a, &[200, 255, 0, 1, 100, 50, 255, 128])
+            .unwrap();
+        e.write_field_all(&b, &[100, 255, 0, 1, 28, 50, 1, 128])
+            .unwrap();
         e.add(&a, &b, &out, 32).unwrap();
         let got = e.read_field_all(&out).unwrap();
         assert_eq!(got, vec![300, 510, 0, 2, 128, 100, 256, 256]);
@@ -785,8 +825,10 @@ mod tests {
         let a = field(0, 8);
         let b = field(8, 8);
         let out = field(16, 8);
-        e.write_field_all(&a, &[200, 5, 0, 255, 7, 9, 100, 64]).unwrap();
-        e.write_field_all(&b, &[100, 5, 1, 0, 9, 7, 99, 65]).unwrap();
+        e.write_field_all(&a, &[200, 5, 0, 255, 7, 9, 100, 64])
+            .unwrap();
+        e.write_field_all(&b, &[100, 5, 1, 0, 9, 7, 99, 65])
+            .unwrap();
         e.sub(&a, &b, &out, 32).unwrap();
         let got = e.read_field_all(&out).unwrap();
         assert_eq!(got[0], 100);

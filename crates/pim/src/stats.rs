@@ -2,7 +2,7 @@
 
 use crate::cost::{CostModel, Op};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Accumulator of executed operations with derived latency and energy.
 ///
@@ -25,7 +25,10 @@ use std::collections::HashMap;
 pub struct EnergyStats {
     time_ns: f64,
     energy_pj: f64,
-    counts: HashMap<Op, u64>,
+    // BTreeMap (not HashMap) so iteration during merges is key-ordered:
+    // f64 accumulation over the counts is then fold-order stable across
+    // runs, a determinism invariant enforced by dual-lint rule r2.
+    counts: BTreeMap<Op, u64>,
 }
 
 impl EnergyStats {
@@ -78,6 +81,7 @@ impl EnergyStats {
             return;
         }
         self.time_ns += model.latency_ns(op);
+        // lint:allow(r3-lossy-cast): issue counts ≪ 2^53, exact in f64
         self.energy_pj += model.energy_pj(op) * blocks as f64;
         *self.counts.entry(op).or_default() += blocks;
     }
@@ -87,7 +91,9 @@ impl EnergyStats {
         if times == 0 {
             return;
         }
+        // lint:allow(r3-lossy-cast): issue counts ≪ 2^53, exact in f64
         self.time_ns += model.latency_ns(op) * times as f64;
+        // lint:allow(r3-lossy-cast): issue counts ≪ 2^53, exact in f64
         self.energy_pj += model.energy_pj(op) * times as f64;
         *self.counts.entry(op).or_default() += times;
     }

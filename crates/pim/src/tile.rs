@@ -5,7 +5,7 @@ use crate::arch::ChipConfig;
 use crate::block::MemoryBlock;
 use crate::PimError;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Whether the per-block 3-bit counters are present (ablation switch for
 /// the Fig. 12 "no counter" bars).
@@ -50,7 +50,7 @@ impl CounterMode {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Tile {
     config: ChipConfig,
-    blocks: HashMap<usize, MemoryBlock>,
+    blocks: BTreeMap<usize, MemoryBlock>,
 }
 
 impl Tile {
@@ -59,7 +59,7 @@ impl Tile {
     pub fn new(config: ChipConfig) -> Self {
         Self {
             config,
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
         }
     }
 
@@ -315,7 +315,9 @@ mod tests {
     #[test]
     fn counter_mode_writeback() {
         assert_eq!(CounterMode::Enabled.writeback_columns(), 3);
-        assert!(CounterMode::Disabled.writeback_columns() > CounterMode::Enabled.writeback_columns());
+        assert!(
+            CounterMode::Disabled.writeback_columns() > CounterMode::Enabled.writeback_columns()
+        );
     }
 
     #[test]

@@ -46,6 +46,10 @@
 //! assert_eq!(sum, 499_500);
 //! ```
 
+#![forbid(unsafe_code)]
+// This crate's unwrap/expect debt is burned to zero: deny outright.
+// (Test code is exempt via .clippy.toml allow-*-in-tests keys.)
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 #![warn(missing_docs)]
 
 use std::ops::Range;
@@ -245,6 +249,9 @@ where
 
 /// Run `f` over `ranges` on one scoped worker per range, collecting
 /// results in range order. Panics in workers propagate to the caller.
+// Worker panics are propagated to the caller by design: swallowing one
+// would silently drop a chunk of the result vector.
+#[allow(clippy::expect_used)]
 fn run_ordered<R, F>(ranges: Vec<Range<usize>>, f: &F) -> Vec<R>
 where
     R: Send,
@@ -260,6 +267,8 @@ where
                 .collect();
             handles
                 .into_iter()
+                // lint:allow(r1-panic): re-raising a worker panic is the
+                // only sound option; swallowing it would drop results
                 .map(|h| h.join().expect("dual-pool worker panicked"))
                 .collect()
         }),
@@ -331,8 +340,18 @@ mod tests {
     fn par_reduce_is_fixed_order() {
         // Left-fold over chunk partials: for a fixed thread count the
         // result is reproducible run-to-run.
-        let a = par_reduce(10_000, 4, |r| r.map(|i| i as f64 * 0.1).sum::<f64>(), |x, y| x + y);
-        let b = par_reduce(10_000, 4, |r| r.map(|i| i as f64 * 0.1).sum::<f64>(), |x, y| x + y);
+        let a = par_reduce(
+            10_000,
+            4,
+            |r| r.map(|i| i as f64 * 0.1).sum::<f64>(),
+            |x, y| x + y,
+        );
+        let b = par_reduce(
+            10_000,
+            4,
+            |r| r.map(|i| i as f64 * 0.1).sum::<f64>(),
+            |x, y| x + y,
+        );
         assert_eq!(a.unwrap().to_bits(), b.unwrap().to_bits());
         assert_eq!(par_reduce(0, 4, |_| 0u32, |x, y| x + y), None);
     }

@@ -20,6 +20,7 @@
 //! assert_eq!(emb.len(), 40);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;
@@ -214,7 +215,11 @@ fn joint_probabilities(d2: &[f64], n: usize, perplexity: f64) -> Vec<f64> {
             }
             if entropy > target_entropy {
                 beta_lo = beta;
-                beta = if beta_hi.is_finite() { 0.5 * (beta + beta_hi) } else { beta * 2.0 };
+                beta = if beta_hi.is_finite() {
+                    0.5 * (beta + beta_hi)
+                } else {
+                    beta * 2.0
+                };
             } else {
                 beta_hi = beta;
                 beta = 0.5 * (beta + beta_lo);
@@ -317,7 +322,11 @@ mod tests {
     #[test]
     fn blobs_remain_separated() {
         let (pts, labels) = blobs(10);
-        let emb = Tsne::new().perplexity(8.0).iterations(300).seed(4).embed(&pts);
+        let emb = Tsne::new()
+            .perplexity(8.0)
+            .iterations(300)
+            .seed(4)
+            .embed(&pts);
         let score = neighbor_agreement(&emb, &labels);
         assert!(score > 0.9, "neighbor agreement {score}");
     }
@@ -325,7 +334,11 @@ mod tests {
     #[test]
     fn embedding_is_centered_and_finite() {
         let (pts, _) = blobs(8);
-        let emb = Tsne::new().perplexity(6.0).iterations(120).seed(2).embed(&pts);
+        let emb = Tsne::new()
+            .perplexity(6.0)
+            .iterations(120)
+            .seed(2)
+            .embed(&pts);
         let mx: f64 = emb.iter().map(|p| p[0]).sum::<f64>() / emb.len() as f64;
         let my: f64 = emb.iter().map(|p| p[1]).sum::<f64>() / emb.len() as f64;
         assert!(mx.abs() < 1e-6 && my.abs() < 1e-6);

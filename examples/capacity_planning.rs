@@ -28,7 +28,10 @@ fn main() {
     );
 
     // 2. Partition plans across the Table IV workloads.
-    println!("{:<12} {:>10} {:>11} {:>10} {:>14}", "workload", "points", "partitions", "part size", "modeled time");
+    println!(
+        "{:<12} {:>10} {:>11} {:>10} {:>14}",
+        "workload", "points", "partitions", "part size", "modeled time"
+    );
     for w in [
         Workload::Mnist,
         Workload::Synthetic1,
@@ -53,7 +56,12 @@ fn main() {
     for &n in &[1_000usize, 100_000] {
         let line: Vec<String> = [1usize, 4, 16, 64]
             .iter()
-            .map(|&p| format!("{p} copies: {:.1}x", replication_speedup(ScalingModel::Hierarchical, n, p)))
+            .map(|&p| {
+                format!(
+                    "{p} copies: {:.1}x",
+                    replication_speedup(ScalingModel::Hierarchical, n, p)
+                )
+            })
             .collect();
         println!("  n = {n:>7}: {}", line.join("   "));
     }

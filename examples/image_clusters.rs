@@ -11,7 +11,9 @@ use dual::data::{catalog, Workload};
 use dual::hdc::{Encoder, HdMapper, LshEncoder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let ds = catalog::workload(Workload::Mnist).generate(0.005, 7).truncated(300);
+    let ds = catalog::workload(Workload::Mnist)
+        .generate(0.005, 7)
+        .truncated(300);
     println!(
         "workload: {} surrogate, {} points x {} features, {} classes\n",
         ds.name,
@@ -21,12 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Baseline: Ward on squared Euclidean in the original space.
-    let base = AgglomerativeClustering::fit(
-        &ds.points,
-        Linkage::Ward,
-        dual::cluster::squared_euclidean,
-    )
-    .cut(ds.n_clusters);
+    let base =
+        AgglomerativeClustering::fit(&ds.points, Linkage::Ward, dual::cluster::squared_euclidean)
+            .cut(ds.n_clusters);
     println!(
         "original space (Euclidean):        accuracy {:.3}",
         cluster_accuracy(&base, &ds.labels)

@@ -33,7 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Mask out the query itself, then nearest search for the min.
         let mask: Vec<bool> = (0..8).map(|i| i != cur).collect();
         let (idx, d) = rt.near_search_masked(&dist, 0, Some(&mask))?;
-        println!("  step {step}: from row {cur} -> nearest row {idx} at distance {d} (all: {values:?})");
+        println!(
+            "  step {step}: from row {cur} -> nearest row {idx} at distance {d} (all: {values:?})"
+        );
         rt.free(&dist)?;
         cur = idx;
     }
@@ -45,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rt.write_values(&x, &[30, 40, 50, 60, 70, 80, 90, 100])?;
     rt.write_values(&z, &[3, 4, 5, 6, 7, 8, 9, 10])?;
     rt.div(&x, &z, &c)?; // approximate TruncApp division, row-parallel
-    println!("\nrow-parallel x/z (approximate divider): {:?}", rt.read_values(&c)?);
+    println!(
+        "\nrow-parallel x/z (approximate divider): {:?}",
+        rt.read_values(&c)?
+    );
 
     // Inspect what the driver issued and what it cost.
     println!("\ninstruction trace ({} instructions):", rt.trace().len());

@@ -44,10 +44,7 @@ impl Default for Criterion {
         let test_mode = args.iter().any(|a| a == "--test");
         // First free (non-flag) argument is a substring filter, as in
         // upstream criterion / libtest.
-        let filter = args
-            .iter()
-            .find(|a| !a.starts_with('-'))
-            .cloned();
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
         Self { test_mode, filter }
     }
 }

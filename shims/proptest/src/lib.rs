@@ -189,9 +189,9 @@ pub mod strategy {
             }
         };
     }
-    impl_tuple_strategy!(A/a, B/b);
-    impl_tuple_strategy!(A/a, B/b, C/c);
-    impl_tuple_strategy!(A/a, B/b, C/c, D/d);
+    impl_tuple_strategy!(A / a, B / b);
+    impl_tuple_strategy!(A / a, B / b, C / c);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d);
 }
 
 pub mod arbitrary {
@@ -449,14 +449,12 @@ macro_rules! prop_assert_ne {
         let __l = &$left;
         let __r = &$right;
         if *__l == *__r {
-            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
-                format!(
-                    "assertion failed: `{} != {}`\n    both: {:?}",
-                    stringify!($left),
-                    stringify!($right),
-                    __l
-                ),
-            ));
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n    both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
         }
     }};
 }

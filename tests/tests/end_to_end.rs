@@ -70,8 +70,11 @@ fn all_three_algorithms_recover_well_separated_clusters() {
     let hier = a.fit_hierarchical(&ds.points, 3).expect("runs");
     let km = a.fit_kmeans(&ds.points, 3, 5).expect("runs");
     let db = a.fit_dbscan(&ds.points, 0.22).expect("runs");
-    for (name, labels) in [("hier", &hier.labels), ("kmeans", &km.labels), ("dbscan", &db.labels)]
-    {
+    for (name, labels) in [
+        ("hier", &hier.labels),
+        ("kmeans", &km.labels),
+        ("dbscan", &db.labels),
+    ] {
         let acc = cluster_accuracy(labels, &ds.labels);
         assert!(acc > 0.9, "{name} accuracy {acc}");
     }
@@ -98,13 +101,8 @@ fn accelerated_runs_report_costs_and_instructions() {
 fn encoding_quality_survives_the_full_stack() {
     // Closer pair of clusters: the encoder must keep them separable.
     let ds = demo_dataset(40, 8, 4);
-    let a = DualAccelerator::with_sigma(
-        DualConfig::paper().with_dim(1024),
-        8,
-        3,
-        sigma_for(&ds),
-    )
-    .expect("valid");
+    let a = DualAccelerator::with_sigma(DualConfig::paper().with_dim(1024), 8, 3, sigma_for(&ds))
+        .expect("valid");
     let encoded = a.encode(&ds.points).expect("encodes");
     let labels = AgglomerativeClustering::fit(&encoded, Linkage::Ward, hamming).cut(4);
     assert!(cluster_accuracy(&labels, &ds.labels) > 0.9);

@@ -33,7 +33,10 @@ fn perf_model_time_scales_linearly_in_points() {
     let t1 = m.hierarchical(10_000).time_s();
     let t2 = m.hierarchical(20_000).time_s();
     let ratio = t2 / t1;
-    assert!((1.8..2.2).contains(&ratio), "hierarchical should be ~linear, got {ratio}");
+    assert!(
+        (1.8..2.2).contains(&ratio),
+        "hierarchical should be ~linear, got {ratio}"
+    );
     let d1 = m.dbscan(10_000).time_s();
     let d2 = m.dbscan(20_000).time_s();
     assert!((1.8..2.2).contains(&(d2 / d1)));
@@ -74,9 +77,13 @@ fn ablations_compose_monotonically() {
     let no_ctr = PerfModel::new(DualConfig::paper().without_counters())
         .hierarchical(n)
         .time_s();
-    let both = PerfModel::new(DualConfig::paper().without_interconnect().without_counters())
-        .hierarchical(n)
-        .time_s();
+    let both = PerfModel::new(
+        DualConfig::paper()
+            .without_interconnect()
+            .without_counters(),
+    )
+    .hierarchical(n)
+    .time_s();
     assert!(no_ic > base && no_ctr > base);
     assert!(both >= no_ic.max(no_ctr), "ablations must compound");
 }

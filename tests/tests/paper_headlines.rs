@@ -36,8 +36,14 @@ fn abstract_headline_58x_speedup_251x_energy() {
     }
     let s = speedups.iter().sum::<f64>() / 3.0;
     let e = energies.iter().sum::<f64>() / 3.0;
-    assert!((s - 58.8).abs() / 58.8 < 0.10, "average speedup {s:.1} vs paper 58.8");
-    assert!((e - 251.2).abs() / 251.2 < 0.15, "average energy {e:.1} vs paper 251.2");
+    assert!(
+        (s - 58.8).abs() / 58.8 < 0.10,
+        "average speedup {s:.1} vs paper 58.8"
+    );
+    assert!(
+        (e - 251.2).abs() / 251.2 < 0.15,
+        "average energy {e:.1} vs paper 251.2"
+    );
 }
 
 #[test]

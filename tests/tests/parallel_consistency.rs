@@ -68,7 +68,12 @@ fn kmeans_parallel_is_bit_identical() {
     for &n in &[2usize, 63, 64, 65, 1024, 1500] {
         let pts = euclid_points(n, 3, 7 + n as u64);
         let k = 3.min(n);
-        let serial = KMeans::new(k).unwrap().seed(5).threads(1).fit(&pts).unwrap();
+        let serial = KMeans::new(k)
+            .unwrap()
+            .seed(5)
+            .threads(1)
+            .fit(&pts)
+            .unwrap();
         for &threads in &THREADS {
             let par = KMeans::new(k)
                 .unwrap()

@@ -8,7 +8,12 @@ use dual_data::Workload;
 #[test]
 fn hierarchical_hd_tracks_euclidean_baseline() {
     let ds = quality_dataset(Workload::Sensor, 150);
-    let base = quality(&ds, Algorithm::Hierarchical, Representation::Baseline, BENCH_SEED);
+    let base = quality(
+        &ds,
+        Algorithm::Hierarchical,
+        Representation::Baseline,
+        BENCH_SEED,
+    );
     let hd = quality(
         &ds,
         Algorithm::Hierarchical,
@@ -67,7 +72,17 @@ fn dbscan_chain_quality_is_reasonable() {
 #[test]
 fn quality_is_deterministic_given_seed() {
     let ds = quality_dataset(Workload::Gesture, 120);
-    let a = quality(&ds, Algorithm::Hierarchical, Representation::HdMapper { dim: 1000 }, 7);
-    let b = quality(&ds, Algorithm::Hierarchical, Representation::HdMapper { dim: 1000 }, 7);
+    let a = quality(
+        &ds,
+        Algorithm::Hierarchical,
+        Representation::HdMapper { dim: 1000 },
+        7,
+    );
+    let b = quality(
+        &ds,
+        Algorithm::Hierarchical,
+        Representation::HdMapper { dim: 1000 },
+        7,
+    );
     assert_eq!(a, b);
 }

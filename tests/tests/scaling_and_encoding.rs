@@ -3,8 +3,8 @@
 //! the substrates end to end.
 
 use dual_core::{
-    hierarchical_capacity, partition_plan, partitioned_cost, partitioned_hierarchical,
-    DualConfig, PerfModel, PimEncoder,
+    hierarchical_capacity, partition_plan, partitioned_cost, partitioned_hierarchical, DualConfig,
+    PerfModel, PimEncoder,
 };
 use dual_hdc::{CosineMode, Encoder, HdMapper};
 use dual_isa::Runtime;
@@ -36,7 +36,11 @@ fn partitioned_cost_is_continuous_at_the_capacity_boundary() {
 fn partitioned_functional_path_matches_monolithic_on_clean_data() {
     // Well-separated hypervector blobs: the two-level scheme must land
     // on the same flat clustering as the monolithic run.
-    let mapper = HdMapper::builder(384, 3).seed(2).sigma(3.0).build().unwrap();
+    let mapper = HdMapper::builder(384, 3)
+        .seed(2)
+        .sigma(3.0)
+        .build()
+        .unwrap();
     let mut pts = Vec::new();
     let mut truth = Vec::new();
     for c in 0..3 {
@@ -95,7 +99,11 @@ fn encoding_cost_model_and_functional_path_are_consistent_in_shape() {
     // m multiplies; the functional runtime's multiply count for one
     // point must equal m plus the constant Taylor-stage squares.
     let m_features = 10;
-    let mapper = HdMapper::builder(64, m_features).seed(1).sigma(4.0).build().unwrap();
+    let mapper = HdMapper::builder(64, m_features)
+        .seed(1)
+        .sigma(4.0)
+        .build()
+        .unwrap();
     let enc = PimEncoder::new(&mapper, 6, 4.0);
     let mut rt = Runtime::with_pool(64, 256, 64).unwrap();
     let feats: Vec<f64> = (0..m_features).map(|i| 0.1 * i as f64).collect();
@@ -103,7 +111,11 @@ fn encoding_cost_model_and_functional_path_are_consistent_in_shape() {
     let muls: u64 = (1..=64u32)
         .map(|b| rt.stats().count(dual_pim::Op::Mul { bits: b }))
         .sum();
-    assert_eq!(muls as usize, m_features + 3, "m dot-product muls + y², q², v1·k24");
+    assert_eq!(
+        muls as usize,
+        m_features + 3,
+        "m dot-product muls + y², q², v1·k24"
+    );
     // And the analytic model scales ~linearly in m once the constant
     // Taylor stage is amortized.
     let model = PerfModel::new(DualConfig::paper());
