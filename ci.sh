@@ -24,4 +24,9 @@ cargo fmt --all --check
 echo "==> dual-lint check (static-analysis gate, see DESIGN.md)"
 cargo run -q -p dual-lint --release -- check --json
 
+echo "==> stream_throughput smoke (regenerates results/stream_throughput.json)"
+cargo run -q -p dual-bench --release --bin stream_throughput
+git diff --exit-code -- results/stream_throughput.json \
+  || { echo "stream_throughput.json drifted: the report must be byte-stable"; exit 1; }
+
 echo "CI OK"

@@ -1,0 +1,189 @@
+//! Streaming-engine throughput bench: firehose >= 100k drifting sensor
+//! points through the full `dual-stream` pipeline (bounded ring ->
+//! micro-batch cut -> parallel HD encode -> sharded Hamming assignment
+//! -> decayed centroid update) under each backpressure policy.
+//!
+//! ```text
+//! cargo run --release -p dual-bench --bin stream_throughput [POINTS]
+//! ```
+//!
+//! Wall-clock throughput (points/sec) is printed to stdout only. The
+//! JSON report written to `results/stream_throughput.json` contains
+//! exclusively deterministic quantities — stage counters, per-batch
+//! PIM energy/latency from the DUAL cost model — so the file is
+//! byte-stable across machines, reruns, and thread counts.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dual_data::DriftSpec;
+use dual_hdc::HdMapper;
+use dual_pim::StreamBatchCost;
+use dual_stream::{BackpressurePolicy, StreamConfig, StreamEngine, StreamSnapshot};
+
+const FEATURES: usize = 16;
+const CLUSTERS: usize = 8;
+const DIM: usize = 512;
+const DEFAULT_POINTS: usize = 120_000;
+/// Consumer cadence chosen to overrun the ring: the gap between ticks
+/// exceeds capacity, so every policy's degradation path is exercised.
+const TICK_EVERY: usize = 1536;
+
+struct PolicyRun {
+    policy: BackpressurePolicy,
+    snapshot: StreamSnapshot,
+    costs: Vec<StreamBatchCost>,
+    points_per_sec: f64,
+}
+
+fn run_policy(policy: BackpressurePolicy, points: usize) -> PolicyRun {
+    let encoder = HdMapper::builder(DIM, FEATURES)
+        .seed(7)
+        .sigma(6.0)
+        .build()
+        .expect("valid encoder spec");
+    let mut cfg = StreamConfig::new(CLUSTERS);
+    cfg.policy = policy;
+    cfg.capacity = 1024;
+    cfg.max_batch = 256;
+    cfg.max_ticks = 4;
+    cfg.centroids_per_cluster = 2;
+    cfg.decay = 0.95;
+    let mut engine = StreamEngine::new(encoder, cfg).expect("valid stream config");
+
+    let mut spec = DriftSpec::new(FEATURES, CLUSTERS);
+    spec.drift_rate = 1e-3;
+    let stream: Vec<(Vec<f64>, usize)> = spec.stream(42).take(points).collect();
+
+    let mut costs = Vec::new();
+    let start = Instant::now();
+    for (i, (point, _regime)) in stream.iter().enumerate() {
+        engine.push(point).expect("well-shaped point");
+        if (i + 1) % TICK_EVERY == 0 {
+            costs.extend(engine.tick().expect("tick"));
+        }
+    }
+    costs.extend(engine.drain().expect("drain"));
+    let elapsed = start.elapsed().as_secs_f64();
+
+    PolicyRun {
+        policy,
+        snapshot: engine.snapshot(),
+        costs,
+        points_per_sec: points as f64 / elapsed.max(1e-9),
+    }
+}
+
+/// Hand-serialized report in the workspace's byte-stable JSON idiom:
+/// fixed key order, fixed float formatting, no wall-clock fields.
+fn to_json(points: usize, runs: &[PolicyRun]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": 1,\n");
+    let _ = writeln!(out, "  \"points_offered\": {points},");
+    let _ = writeln!(out, "  \"features\": {FEATURES},");
+    let _ = writeln!(out, "  \"dimension\": {DIM},");
+    let _ = writeln!(out, "  \"clusters\": {CLUSTERS},");
+    let _ = writeln!(out, "  \"tick_every\": {TICK_EVERY},");
+    out.push_str("  \"policies\": [");
+    for (i, run) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let s = &run.snapshot;
+        let batches = s.batches.max(1) as f64;
+        out.push_str("\n    {");
+        let _ = write!(out, "\"policy\": \"{}\", ", run.policy.name());
+        let _ = write!(out, "\"ingested\": {}, ", s.counters.ingested);
+        let _ = write!(out, "\"clustered\": {}, ", s.points);
+        let _ = write!(out, "\"dropped\": {}, ", s.counters.dropped);
+        let _ = write!(out, "\"rejected\": {}, ", s.counters.rejected);
+        let _ = write!(out, "\"batches\": {}, ", s.batches);
+        let _ = write!(out, "\"size_cuts\": {}, ", s.counters.size_cuts);
+        let _ = write!(out, "\"deadline_cuts\": {}, ", s.counters.deadline_cuts);
+        let _ = write!(out, "\"drain_cuts\": {}, ", s.counters.drain_cuts);
+        let _ = write!(out, "\"inline_flushes\": {}, ", s.counters.inline_flushes);
+        let _ = write!(out, "\"energy_pj_total\": {:.3}, ", s.energy_pj);
+        let _ = write!(out, "\"time_ns_total\": {:.3}, ", s.time_ns);
+        let _ = write!(
+            out,
+            "\"energy_pj_per_batch\": {:.3}, ",
+            s.energy_pj / batches
+        );
+        let _ = write!(out, "\"time_ns_per_batch\": {:.3}, ", s.time_ns / batches);
+        let _ = write!(
+            out,
+            "\"energy_pj_per_point\": {:.3}",
+            s.energy_pj / (s.points.max(1) as f64)
+        );
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn main() {
+    let points: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("POINTS must be a positive integer"))
+        .unwrap_or(DEFAULT_POINTS);
+    assert!(points > 0, "POINTS must be positive");
+
+    println!(
+        "stream_throughput: {points} drifting {FEATURES}-feature points, dim={DIM}, k={CLUSTERS}, tick every {TICK_EVERY}\n"
+    );
+    println!(
+        "  {:<12} {:>12} {:>10} {:>9} {:>9} {:>8} {:>12} {:>14}",
+        "policy",
+        "points/sec",
+        "clustered",
+        "dropped",
+        "rejected",
+        "batches",
+        "uJ total",
+        "nJ/point"
+    );
+
+    let mut runs = Vec::new();
+    for policy in [
+        BackpressurePolicy::Block,
+        BackpressurePolicy::DropOldest,
+        BackpressurePolicy::Reject,
+    ] {
+        let run = run_policy(policy, points);
+        let s = &run.snapshot;
+        println!(
+            "  {:<12} {:>12.0} {:>10} {:>9} {:>9} {:>8} {:>12.2} {:>14.2}",
+            run.policy.name(),
+            run.points_per_sec,
+            s.points,
+            s.counters.dropped,
+            s.counters.rejected,
+            s.batches,
+            s.energy_pj / 1e6,
+            s.energy_pj / (s.points.max(1) as f64) / 1e3,
+        );
+        // Conservation sanity: every offered point is accounted for.
+        assert_eq!(s.pending, 0, "drain leaves nothing buffered");
+        assert_eq!(
+            s.counters.ingested + s.counters.rejected,
+            points as u64,
+            "offered = ingested + rejected"
+        );
+        assert_eq!(
+            s.points + s.counters.dropped,
+            s.counters.ingested,
+            "ingested = clustered + dropped"
+        );
+        // The tick/drain ledger covers every batch except inline
+        // backpressure flushes (committed inside push under Block).
+        let sum_pts: u64 = run.costs.iter().map(|c| c.points).sum();
+        assert!(sum_pts <= s.points, "ledger cannot exceed the total");
+        runs.push(run);
+    }
+
+    std::fs::create_dir_all("results").expect("can create results/");
+    let json = to_json(points, &runs);
+    std::fs::write("results/stream_throughput.json", &json).expect("writable results/");
+    println!("\nreport written to results/stream_throughput.json (deterministic fields only)");
+}

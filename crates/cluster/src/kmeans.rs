@@ -1,8 +1,8 @@
 //! K-means clustering: Euclidean Lloyd's algorithm (baseline) and the
 //! binary Hamming-space variant DUAL executes in memory (§VI-C, Fig. 9b).
 
-use crate::{squared_euclidean, ClusterError};
-use dual_hdc::{majority_bundle, Hypervector};
+use crate::{squared_euclidean, CentroidAccumulator, ClusterError};
+use dual_hdc::Hypervector;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -369,28 +369,12 @@ impl HammingKMeans {
         let mut iterations = 0;
         for iter in 0..self.max_iters.max(1) {
             iterations = iter + 1;
-            assign_hamming_labels(points, &centers, &mut labels, self.threads);
-            // Majority votes are exact bit operations, so they can run
-            // one-cluster-per-task in parallel; empty-cluster reseeds
-            // draw from the RNG strictly serially, in cluster order.
-            let votes = dual_pool::par_map_chunks(
-                &(0..self.k).collect::<Vec<usize>>(),
-                self.threads,
-                |_, clusters| {
-                    clusters
-                        .iter()
-                        .map(|&c| {
-                            let members: Vec<&Hypervector> = points
-                                .iter()
-                                .zip(&labels)
-                                .filter(|(_, &l)| l == c)
-                                .map(|(p, _)| p)
-                                .collect();
-                            majority_bundle(&members).ok()
-                        })
-                        .collect()
-                },
-            );
+            // One shared Lloyd step: nearest-centroid assignment plus
+            // per-cluster majority re-binarization. The same function
+            // drives the streaming engine's decay=1.0 batch case, which
+            // is what makes the two paths provably equivalent.
+            let (step_labels, votes) = hamming_lloyd_step(points, &centers, self.threads);
+            labels = step_labels;
             let mut flips = 0usize;
             for (c, vote) in votes.into_iter().enumerate() {
                 let new = match vote {
@@ -421,24 +405,51 @@ impl HammingKMeans {
     }
 }
 
-/// Parallel Hamming assignment step, mirroring [`assign_labels`].
+/// Parallel Hamming assignment step, mirroring [`assign_labels`]:
+/// the shared [`dual_hdc::search::assign_batch`] nearest loop (ties
+/// break toward the lowest center index for every thread count).
 fn assign_hamming_labels(
     points: &[Hypervector],
     centers: &[Hypervector],
     labels: &mut [usize],
     threads: usize,
 ) {
-    dual_pool::par_fill(labels, threads, |offset, chunk| {
-        for (lbl, p) in chunk.iter_mut().zip(&points[offset..]) {
-            *lbl = argmin_hamming(p, centers);
-        }
-    });
+    for (lbl, (c, _)) in labels
+        .iter_mut()
+        .zip(dual_hdc::search::assign_batch(points, centers, threads))
+    {
+        *lbl = c;
+    }
 }
 
-fn argmin_hamming(p: &Hypervector, centers: &[Hypervector]) -> usize {
-    // Word-level-popcount nearest search shared with the accelerator;
-    // ties break toward the lowest center index.
-    dual_hdc::search::nearest(p, centers).map_or(0, |(i, _)| i)
+/// One Lloyd step of Hamming k-means: assign every point to its nearest
+/// center (ties toward the lowest index), then majority-re-binarize each
+/// center over its members in point order. Returns the labels and one
+/// vote per center — `None` where a center attracted no members (the
+/// caller decides the reseeding policy).
+///
+/// This is the exact per-iteration body of [`HammingKMeans::fit`], and
+/// the `decay == 1.0` single-batch case of the streaming engine's
+/// online update (`dual-stream`), shared so the two can be tested for
+/// equivalence. Bit-identical for every `threads` value (`0` = auto).
+#[must_use]
+pub fn hamming_lloyd_step(
+    points: &[Hypervector],
+    centers: &[Hypervector],
+    threads: usize,
+) -> (Vec<usize>, Vec<Option<Hypervector>>) {
+    let assigned = dual_hdc::search::assign_batch(points, centers, threads);
+    let labels: Vec<usize> = assigned.into_iter().map(|(c, _)| c).collect();
+    let dim = centers.first().map_or(0, Hypervector::dim);
+    let mut accs: Vec<CentroidAccumulator> = centers
+        .iter()
+        .map(|_| CentroidAccumulator::new(dim))
+        .collect();
+    for (p, &lbl) in points.iter().zip(&labels) {
+        accs[lbl].add(p);
+    }
+    let votes = accs.iter().map(CentroidAccumulator::majority).collect();
+    (labels, votes)
 }
 
 #[cfg(test)]

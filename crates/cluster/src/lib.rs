@@ -38,6 +38,7 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 #![warn(missing_docs)]
 
+mod accumulator;
 mod dbscan;
 mod error;
 mod hierarchical;
@@ -47,11 +48,12 @@ mod linkage;
 mod pairwise;
 mod quality;
 
+pub use accumulator::CentroidAccumulator;
 pub use dbscan::{Dbscan, DbscanResult, NnChainClustering, NOISE};
 pub use error::ClusterError;
 pub use hierarchical::{AgglomerativeClustering, Dendrogram, Merge};
 pub use internal::{davies_bouldin, silhouette};
-pub use kmeans::{HammingKMeans, HammingKMeansResult, KMeans, KMeansResult};
+pub use kmeans::{hamming_lloyd_step, HammingKMeans, HammingKMeansResult, KMeans, KMeansResult};
 pub use linkage::Linkage;
 pub use pairwise::CondensedMatrix;
 pub use quality::{cluster_accuracy, normalized_mutual_information, purity};

@@ -31,4 +31,4 @@ mod synthetic;
 
 pub use catalog::{Workload, WorkloadSpec};
 pub use dataset::Dataset;
-pub use synthetic::SyntheticSpec;
+pub use synthetic::{DriftSpec, DriftingBlobs, SyntheticSpec};

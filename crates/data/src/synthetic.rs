@@ -144,6 +144,142 @@ impl SyntheticSpec {
     }
 }
 
+/// Specification of a concept-drifting point stream: Gaussian blobs
+/// whose centers perform a slow seeded random walk while points are
+/// emitted — the workload the streaming engine (`dual-stream`) is
+/// built for, where batch re-clustering from disk is impossible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftSpec {
+    /// Feature dimensionality.
+    pub n_features: usize,
+    /// Number of drifting cluster centers.
+    pub n_clusters: usize,
+    /// Per-cluster Gaussian radius (std-dev).
+    pub radius: f64,
+    /// Per-point center step (std-dev of the random walk increment,
+    /// applied to every coordinate of every center on each emission).
+    /// `0.0` gives a stationary stream.
+    pub drift_rate: f64,
+    /// Side of the hypercube the initial centers are placed in.
+    pub side: f64,
+}
+
+impl DriftSpec {
+    /// A well-separated default: centers spread over a box `separation`
+    /// radii wide per cluster, drifting ~1 radius every `1/drift_rate`
+    /// points.
+    #[must_use]
+    pub fn new(n_features: usize, n_clusters: usize) -> Self {
+        Self {
+            n_features,
+            n_clusters,
+            radius: 1.0,
+            drift_rate: 1e-3,
+            side: 8.0 * (n_clusters as f64).max(1.0).sqrt(),
+        }
+    }
+
+    /// Start the seeded infinite stream described by this spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec is degenerate (no clusters or features,
+    /// non-finite radius/drift).
+    #[must_use]
+    pub fn stream(&self, seed: u64) -> DriftingBlobs {
+        assert!(
+            self.n_clusters >= 1 && self.n_features >= 1,
+            "degenerate spec"
+        );
+        assert!(
+            self.radius.is_finite() && self.radius >= 0.0,
+            "radius must be finite and non-negative"
+        );
+        assert!(
+            self.drift_rate.is_finite() && self.drift_rate >= 0.0,
+            "drift_rate must be finite and non-negative"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        // lint:allow(r1-panic): constant (0, 1) parameters are always valid
+        let normal = Normal::new(0.0, 1.0).expect("unit normal is valid");
+        let centers: Vec<Vec<f64>> = (0..self.n_clusters)
+            .map(|_| {
+                (0..self.n_features)
+                    .map(|_| rng.gen_range(0.0..self.side.max(f64::MIN_POSITIVE)))
+                    .collect()
+            })
+            .collect();
+        DriftingBlobs {
+            spec: self.clone(),
+            rng,
+            normal,
+            centers,
+            emitted: 0,
+        }
+    }
+}
+
+/// Seeded infinite iterator of `(point, true_label)` pairs with slow
+/// concept drift (see [`DriftSpec`]). Deterministic per seed: the same
+/// seed yields the same stream prefix for any consumer.
+///
+/// ```rust
+/// use dual_data::DriftSpec;
+///
+/// let spec = DriftSpec::new(4, 3);
+/// let a: Vec<_> = spec.stream(7).take(10).collect();
+/// let b: Vec<_> = spec.stream(7).take(10).collect();
+/// assert_eq!(a, b);
+/// assert!(a.iter().all(|(p, l)| p.len() == 4 && *l < 3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftingBlobs {
+    spec: DriftSpec,
+    rng: StdRng,
+    normal: Normal,
+    centers: Vec<Vec<f64>>,
+    emitted: u64,
+}
+
+impl DriftingBlobs {
+    /// Current (drifted) center positions — handy for tests asserting
+    /// that drift actually moved the distribution.
+    #[must_use]
+    pub fn centers(&self) -> &[Vec<f64>] {
+        &self.centers
+    }
+
+    /// Points emitted so far.
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+impl Iterator for DriftingBlobs {
+    type Item = (Vec<f64>, usize);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        // 1. Walk every center by one drift step (before sampling, so
+        //    drift_rate = 0 reproduces a stationary mixture exactly).
+        if self.spec.drift_rate > 0.0 {
+            for center in &mut self.centers {
+                for c in center.iter_mut() {
+                    *c += self.spec.drift_rate * self.normal.sample(&mut self.rng);
+                }
+            }
+        }
+        // 2. Emit one point from a uniformly chosen cluster.
+        let cluster = self.rng.gen_range(0..self.spec.n_clusters);
+        let point: Vec<f64> = self.centers[cluster]
+            .iter()
+            .map(|&c| c + self.spec.radius * self.normal.sample(&mut self.rng))
+            .collect();
+        self.emitted += 1;
+        Some((point, cluster))
+    }
+}
+
 fn nearest_center(p: &[f64], centers: &[Vec<f64>]) -> usize {
     let mut best = 0;
     let mut best_d = f64::INFINITY;
@@ -213,6 +349,61 @@ mod tests {
             }
         }
         assert!(correct as f64 / ds.len() as f64 > 0.97, "{correct}/400");
+    }
+
+    #[test]
+    fn drifting_blobs_is_deterministic_per_seed() {
+        let spec = DriftSpec::new(6, 4);
+        let a: Vec<_> = spec.stream(11).take(200).collect();
+        let b: Vec<_> = spec.stream(11).take(200).collect();
+        let c: Vec<_> = spec.stream(12).take(200).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|(p, l)| p.len() == 6 && *l < 4));
+        assert!(a.iter().flat_map(|(p, _)| p).all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn drifting_blobs_centers_actually_walk() {
+        let spec = DriftSpec {
+            drift_rate: 0.05,
+            ..DriftSpec::new(3, 2)
+        };
+        let mut stream = spec.stream(5);
+        let before = stream.centers().to_vec();
+        for _ in 0..2000 {
+            let _ = stream.next();
+        }
+        let after = stream.centers();
+        let moved: f64 = before
+            .iter()
+            .zip(after)
+            .map(|(b, a)| b.iter().zip(a).map(|(x, y)| (x - y).abs()).sum::<f64>())
+            .sum();
+        assert!(moved > 1.0, "centers barely moved: {moved}");
+        assert_eq!(stream.emitted(), 2000);
+    }
+
+    #[test]
+    fn zero_drift_rate_is_stationary() {
+        let spec = DriftSpec {
+            drift_rate: 0.0,
+            ..DriftSpec::new(3, 2)
+        };
+        let mut stream = spec.stream(5);
+        let before = stream.centers().to_vec();
+        for _ in 0..500 {
+            let _ = stream.next();
+        }
+        assert_eq!(before, stream.centers());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn drifting_blobs_rejects_zero_clusters() {
+        let mut spec = DriftSpec::new(3, 1);
+        spec.n_clusters = 0;
+        let _ = spec.stream(0);
     }
 
     #[test]

@@ -127,6 +127,51 @@ pub fn top_k_parallel(
     merged
 }
 
+/// Assign every query to its nearest centroid in one call, returning
+/// one `(centroid_index, hamming_distance)` pair per query.
+///
+/// This is the shared per-point nearest loop of both the batch
+/// (`HammingKMeans`) and streaming (`dual-stream`) k-means assignment
+/// steps: queries are chunked across up to `threads` scoped workers
+/// (`0` = auto, honouring `DUAL_THREADS`), each query resolved by the
+/// serial [`nearest`] scan, so ties break toward the lowest centroid
+/// index and the output is **bit-identical for every thread count**.
+///
+/// # Panics
+///
+/// Panics when `centroids` is empty (an assignment target must exist)
+/// or when dimensionalities differ (the [`Hypervector::hamming`]
+/// contract).
+///
+/// ```rust
+/// use dual_hdc::{search, BitVec, Hypervector};
+///
+/// let zeros = Hypervector::from_bitvec(BitVec::zeros(16));
+/// let ones = Hypervector::from_bitvec(BitVec::ones(16));
+/// let assigned = search::assign_batch(&[zeros.clone(), ones.clone()], &[zeros, ones], 2);
+/// assert_eq!(assigned, vec![(0, 0), (1, 0)]);
+/// ```
+#[must_use]
+pub fn assign_batch(
+    queries: &[Hypervector],
+    centroids: &[Hypervector],
+    threads: usize,
+) -> Vec<(usize, usize)> {
+    assert!(
+        !centroids.is_empty(),
+        "assign_batch requires at least one centroid"
+    );
+    let mut out = vec![(0usize, 0usize); queries.len()];
+    dual_pool::par_fill(&mut out, threads, |offset, slots| {
+        for (slot, q) in slots.iter_mut().zip(&queries[offset..]) {
+            // `centroids` is non-empty, so `nearest` always finds one;
+            // the fallback keeps the closure total without panicking.
+            *slot = nearest(q, centroids).unwrap_or((0, 0));
+        }
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +212,32 @@ mod tests {
                 assert_eq!(top_k_parallel(&q, &cands, 5, threads), want_top);
             }
         }
+    }
+
+    #[test]
+    fn assign_batch_matches_per_query_nearest() {
+        for n in [0usize, 1, 2, 63, 64, 65] {
+            let queries = pool(n, 128, 3);
+            let centroids = pool(5, 128, 17);
+            let serial: Vec<(usize, usize)> = queries
+                .iter()
+                .map(|q| nearest(q, &centroids).unwrap())
+                .collect();
+            for threads in [0usize, 1, 2, 3, 8] {
+                assert_eq!(
+                    assign_batch(&queries, &centroids, threads),
+                    serial,
+                    "n={n} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one centroid")]
+    fn assign_batch_rejects_empty_centroids() {
+        let q = Hypervector::zeros(8);
+        let _ = assign_batch(&[q], &[], 1);
     }
 
     #[test]

@@ -127,7 +127,7 @@ pub struct RuleConfig {
 impl Default for RuleConfig {
     fn default() -> Self {
         Self {
-            result_crates: ["pim", "cluster", "core", "hdc"]
+            result_crates: ["pim", "cluster", "core", "hdc", "stream"]
                 .iter()
                 .map(ToString::to_string)
                 .collect(),
@@ -137,6 +137,7 @@ impl Default for RuleConfig {
                 "crates/pim/src/endurance.rs",
                 "crates/pim/src/interconnect.rs",
                 "crates/pim/src/stats.rs",
+                "crates/pim/src/streaming.rs",
                 "crates/pim/src/variation.rs",
                 "crates/core/src/perf.rs",
             ]

@@ -55,6 +55,7 @@ pub mod error;
 pub mod interconnect;
 pub mod nor;
 pub mod stats;
+pub mod streaming;
 pub mod tile;
 pub mod variation;
 
@@ -64,3 +65,4 @@ pub use cost::{CostModel, Op};
 pub use device::{DeviceParams, DeviceVariation};
 pub use error::PimError;
 pub use stats::EnergyStats;
+pub use streaming::{StreamBatchCost, StreamMeter};

@@ -98,6 +98,22 @@ impl EnergyStats {
         *self.counts.entry(op).or_default() += times;
     }
 
+    /// Record a *grid* of issues: `serial` back-to-back rounds of `op`,
+    /// each round issued on `blocks` blocks simultaneously. Latency
+    /// adds `serial` times, energy `serial × blocks` times — the shape
+    /// of a windowed search (serial window sweeps, block-parallel rows)
+    /// folded into one call.
+    pub fn record_grid(&mut self, model: &CostModel, op: Op, serial: u64, blocks: u64) {
+        if serial == 0 || blocks == 0 {
+            return;
+        }
+        // lint:allow(r3-lossy-cast): issue counts ≪ 2^53, exact in f64
+        self.time_ns += model.latency_ns(op) * serial as f64;
+        // lint:allow(r3-lossy-cast): issue counts ≪ 2^53, exact in f64
+        self.energy_pj += model.energy_pj(op) * (serial * blocks) as f64;
+        *self.counts.entry(op).or_default() += serial * blocks;
+    }
+
     /// Add raw latency/energy that does not correspond to a tabulated op
     /// (e.g. inter-chip transfers modeled at a coarser grain).
     pub fn record_raw(&mut self, time_ns: f64, energy_pj: f64) {
@@ -158,6 +174,20 @@ mod tests {
         s.record_serial(&m, Op::HammingWindow, 0);
         assert_eq!(s.time_ns(), 0.0);
         assert_eq!(s.energy_pj(), 0.0);
+    }
+
+    #[test]
+    fn grid_is_serial_rounds_of_parallel_issues() {
+        let m = CostModel::paper();
+        let mut s = EnergyStats::new();
+        s.record_grid(&m, Op::HammingWindow, 3, 4);
+        // Latency: 3 serial rounds. Energy: 12 block-issues.
+        assert!((s.time_ns() - 3.0 * m.latency_ns(Op::HammingWindow)).abs() < 1e-9);
+        assert!((s.energy_pj() - 12.0 * m.energy_pj(Op::HammingWindow)).abs() < 1e-9);
+        assert_eq!(s.count(Op::HammingWindow), 12);
+        s.record_grid(&m, Op::HammingWindow, 0, 4);
+        s.record_grid(&m, Op::HammingWindow, 4, 0);
+        assert_eq!(s.count(Op::HammingWindow), 12);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Per-batch cost attribution for streaming workloads.
+//!
+//! The batch benchmarks price a whole clustering run at once
+//! ([`crate::stats::EnergyStats`] + the analytical model in
+//! `dual-core`); a *streaming* engine instead needs to answer "what did
+//! the DUAL chip spend on **this** micro-batch?" so operators can see
+//! energy/latency per unit of ingested traffic. [`StreamMeter`] is that
+//! hook: the engine records the row-parallel ops each pipeline stage
+//! would issue (encode multiplies, Hamming window sweeps, nearest
+//! stages, centroid writes), then commits the open batch to obtain a
+//! [`StreamBatchCost`]; running totals accumulate across batches in
+//! commit order, so the fold is deterministic.
+//!
+//! ```rust
+//! use dual_pim::{CostModel, Op, StreamMeter};
+//!
+//! let mut meter = StreamMeter::new(CostModel::paper());
+//! meter.record_parallel(Op::HammingWindow, 4); // 4 blocks, one sweep
+//! let batch = meter.commit_batch(128);
+//! assert_eq!(batch.batch, 1);
+//! assert_eq!(batch.points, 128);
+//! assert!(batch.energy_pj > 0.0 && batch.time_ns > 0.0);
+//! assert_eq!(meter.total().count(Op::HammingWindow), 4);
+//! ```
+
+use crate::cost::{CostModel, Op};
+use crate::stats::EnergyStats;
+use serde::{Deserialize, Serialize};
+
+/// Cost of one committed micro-batch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamBatchCost {
+    /// 1-based batch sequence number.
+    pub batch: u64,
+    /// Points the batch carried.
+    pub points: u64,
+    /// Critical-path latency of the batch on the chip, nanoseconds.
+    pub time_ns: f64,
+    /// Energy spent on the batch, picojoules.
+    pub energy_pj: f64,
+}
+
+impl StreamBatchCost {
+    /// Energy per point in picojoules (0 for an empty batch).
+    #[must_use]
+    pub fn energy_pj_per_point(&self) -> f64 {
+        if self.points == 0 {
+            0.0
+        } else {
+            // lint:allow(r3-lossy-cast): point counts ≪ 2^53, exact in f64
+            self.energy_pj / self.points as f64
+        }
+    }
+}
+
+/// Accumulates per-operation costs for the *open* micro-batch and
+/// running totals over all committed batches (see the module docs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamMeter {
+    model: CostModel,
+    open: EnergyStats,
+    total: EnergyStats,
+    batches: u64,
+    points: u64,
+    last: Option<StreamBatchCost>,
+}
+
+impl StreamMeter {
+    /// A meter pricing ops with `model`, with no open batch.
+    #[must_use]
+    pub fn new(model: CostModel) -> Self {
+        Self {
+            model,
+            open: EnergyStats::new(),
+            total: EnergyStats::new(),
+            batches: 0,
+            points: 0,
+            last: None,
+        }
+    }
+
+    /// The cost model in use.
+    #[must_use]
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Record one serial op against the open batch.
+    pub fn record(&mut self, op: Op) {
+        let model = self.model;
+        self.open.record(&model, op);
+    }
+
+    /// Record `blocks` simultaneous issues of `op` (latency once,
+    /// energy `blocks` times) against the open batch.
+    pub fn record_parallel(&mut self, op: Op, blocks: u64) {
+        let model = self.model;
+        self.open.record_parallel(&model, op, blocks);
+    }
+
+    /// Record `times` back-to-back serial issues of `op` against the
+    /// open batch.
+    pub fn record_serial(&mut self, op: Op, times: u64) {
+        let model = self.model;
+        self.open.record_serial(&model, op, times);
+    }
+
+    /// Record `serial` rounds of `op`, each round issued on `blocks`
+    /// blocks simultaneously (latency `serial` times, energy
+    /// `serial × blocks` times), against the open batch.
+    pub fn record_grid(&mut self, op: Op, serial: u64, blocks: u64) {
+        let model = self.model;
+        self.open.record_grid(&model, op, serial, blocks);
+    }
+
+    /// Close the open batch carrying `points` points: fold it into the
+    /// running totals and return its cost. Recording starts fresh for
+    /// the next batch. Committing with nothing recorded yields a
+    /// zero-cost batch (a tick that cut an empty deadline batch).
+    pub fn commit_batch(&mut self, points: u64) -> StreamBatchCost {
+        self.batches += 1;
+        self.points += points;
+        let cost = StreamBatchCost {
+            batch: self.batches,
+            points,
+            time_ns: self.open.time_ns(),
+            energy_pj: self.open.energy_pj(),
+        };
+        self.total.merge_serial(&self.open);
+        self.open = EnergyStats::new();
+        self.last = Some(cost);
+        cost
+    }
+
+    /// Batches committed so far.
+    #[must_use]
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Points across all committed batches.
+    #[must_use]
+    pub fn points(&self) -> u64 {
+        self.points
+    }
+
+    /// Running totals over committed batches (op counts included).
+    #[must_use]
+    pub fn total(&self) -> &EnergyStats {
+        &self.total
+    }
+
+    /// Costs recorded against the not-yet-committed batch.
+    #[must_use]
+    pub fn in_flight(&self) -> &EnergyStats {
+        &self.open
+    }
+
+    /// The most recently committed batch, if any.
+    #[must_use]
+    pub fn last_batch(&self) -> Option<&StreamBatchCost> {
+        self.last.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commits_fold_into_totals_in_order() {
+        let mut m = StreamMeter::new(CostModel::paper());
+        m.record_serial(Op::Mul { bits: 8 }, 3);
+        let b1 = m.commit_batch(10);
+        m.record(Op::HammingWindow);
+        let b2 = m.commit_batch(5);
+        assert_eq!((b1.batch, b2.batch), (1, 2));
+        assert_eq!(m.batches(), 2);
+        assert_eq!(m.points(), 15);
+        let want = b1.energy_pj + b2.energy_pj;
+        assert!((m.total().energy_pj() - want).abs() < 1e-12);
+        assert_eq!(m.total().count(Op::Mul { bits: 8 }), 3);
+        assert_eq!(m.total().count(Op::HammingWindow), 1);
+    }
+
+    #[test]
+    fn empty_batch_commits_at_zero_cost() {
+        let mut m = StreamMeter::new(CostModel::paper());
+        let b = m.commit_batch(0);
+        assert_eq!(b.points, 0);
+        assert_eq!(b.energy_pj, 0.0);
+        assert_eq!(b.time_ns, 0.0);
+        assert_eq!(b.energy_pj_per_point(), 0.0);
+    }
+
+    #[test]
+    fn in_flight_resets_after_commit() {
+        let mut m = StreamMeter::new(CostModel::paper());
+        m.record(Op::NearestStage);
+        assert!(m.in_flight().energy_pj() > 0.0);
+        let _ = m.commit_batch(1);
+        assert_eq!(m.in_flight().energy_pj(), 0.0);
+        assert_eq!(m.last_batch().map(|b| b.points), Some(1));
+    }
+
+    #[test]
+    fn grid_charges_the_open_batch() {
+        let mut m = StreamMeter::new(CostModel::paper());
+        m.record_grid(Op::HammingWindow, 5, 2);
+        assert_eq!(m.in_flight().count(Op::HammingWindow), 10);
+        let b = m.commit_batch(5);
+        assert!((b.time_ns - 5.0 * 0.8).abs() < 1e-9);
+        assert!((b.energy_pj - 10.0 * 1.632).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_point_energy_divides_through() {
+        let mut m = StreamMeter::new(CostModel::paper());
+        m.record_parallel(Op::HammingWindow, 10);
+        let b = m.commit_batch(10);
+        assert!((b.energy_pj_per_point() - 1.632).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,685 @@
+//! The streaming engine: ingest ring → micro-batcher → HD encode →
+//! decayed mini-batch k-means, with per-batch DUAL chip cost
+//! attribution.
+//!
+//! [`StreamEngine`] is *synchronous*: producers call
+//! [`StreamEngine::push`], the driver calls [`StreamEngine::tick`] at
+//! its consumption cadence, and all pipeline work happens inline on
+//! the calling thread (fanning out over scoped workers for the encode
+//! and assignment hot loops). That keeps the engine deterministic —
+//! there is no hidden scheduler — while still exercising the exact
+//! policy surface a concurrent deployment needs: bounded buffering,
+//! explicit backpressure, size-or-deadline batching.
+
+use crate::batcher::{Batcher, CutReason};
+use crate::error::StreamError;
+use crate::online::OnlineKMeans;
+use crate::ring::{BackpressurePolicy, PushOutcome, Ring};
+use dual_hdc::{Encoder, Hypervector};
+use dual_pim::{CostModel, Op, StreamBatchCost, StreamMeter};
+use serde::{Deserialize, Serialize};
+
+/// Rows per crossbar block (the Table III anchor geometry): hypervector
+/// dimensions and stored sub-centroids spread over `ceil(x / 1024)`
+/// blocks for cost attribution.
+const BLOCK_ROWS: usize = 1024;
+
+/// Tunables of a [`StreamEngine`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Ingest ring capacity in points.
+    pub capacity: usize,
+    /// What [`StreamEngine::push`] does when the ring is full.
+    pub policy: BackpressurePolicy,
+    /// Micro-batch size threshold (and maximum batch size).
+    pub max_batch: usize,
+    /// Deadline in logical ticks: buffered points are cut at the next
+    /// [`StreamEngine::tick`] once this many ticks passed since the
+    /// previous cut.
+    pub max_ticks: u64,
+    /// Number of clusters.
+    pub k: usize,
+    /// Sub-centroids per cluster (MEMHD-style multi-centroid memory).
+    pub centroids_per_cluster: usize,
+    /// Forgetting factor in `(0, 1]` applied to every centroid
+    /// accumulator between micro-batches; `1.0` never forgets.
+    pub decay: f64,
+    /// Contiguous shards the sub-centroid index is split into.
+    pub shards: usize,
+    /// Worker threads for the encode/assign hot loops (`0` = auto,
+    /// honouring `DUAL_THREADS`). Results are bit-identical for every
+    /// value.
+    pub threads: usize,
+}
+
+impl StreamConfig {
+    /// Defaults for `k` clusters: 1024-point ring, [`BackpressurePolicy::Block`],
+    /// 256-point batches, 16-tick deadline, one sub-centroid per
+    /// cluster, no forgetting, 4 shards, auto threads.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        Self {
+            capacity: 1024,
+            policy: BackpressurePolicy::Block,
+            max_batch: 256,
+            max_ticks: 16,
+            k,
+            centroids_per_cluster: 1,
+            decay: 1.0,
+            shards: 4,
+            threads: 0,
+        }
+    }
+
+    /// Check every parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] naming the first
+    /// out-of-range parameter.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        let positive: [(&'static str, usize); 5] = [
+            ("capacity", self.capacity),
+            ("max_batch", self.max_batch),
+            ("k", self.k),
+            ("centroids_per_cluster", self.centroids_per_cluster),
+            ("shards", self.shards),
+        ];
+        for (name, value) in positive {
+            if value == 0 {
+                return Err(StreamError::InvalidConfig {
+                    name,
+                    reason: "must be positive",
+                });
+            }
+        }
+        if self.max_ticks == 0 {
+            return Err(StreamError::InvalidConfig {
+                name: "max_ticks",
+                reason: "must be positive",
+            });
+        }
+        if !(self.decay > 0.0 && self.decay <= 1.0) {
+            return Err(StreamError::InvalidConfig {
+                name: "decay",
+                reason: "must be in (0, 1]",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-stage event counters, monotone over the engine's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StreamCounters {
+    /// Points accepted into the ring (all `Accepted*` outcomes).
+    pub ingested: u64,
+    /// Points refused under [`BackpressurePolicy::Reject`].
+    pub rejected: u64,
+    /// Buffered points evicted under [`BackpressurePolicy::DropOldest`].
+    pub dropped: u64,
+    /// Inline flushes forced by a full ring under
+    /// [`BackpressurePolicy::Block`].
+    pub inline_flushes: u64,
+    /// Micro-batches committed.
+    pub batches: u64,
+    /// Batches cut because the size threshold was reached.
+    pub size_cuts: u64,
+    /// Batches cut because the tick deadline elapsed.
+    pub deadline_cuts: u64,
+    /// Batches cut by [`StreamEngine::drain`].
+    pub drain_cuts: u64,
+    /// Points encoded into hypervectors.
+    pub encoded: u64,
+    /// Points assigned to a sub-centroid.
+    pub assigned: u64,
+    /// Sub-centroid slots seeded from stream points.
+    pub seeded: u64,
+    /// Sub-centroid majority re-binarizations (centroid rewrites).
+    pub rebinarized: u64,
+}
+
+/// A consistent export of the engine's state between batches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSnapshot {
+    /// Logical time at the snapshot.
+    pub tick: u64,
+    /// Points buffered in the ring, not yet clustered.
+    pub pending: usize,
+    /// Seeded sub-centroids grouped per cluster, in slot order.
+    pub clusters: Vec<Vec<Hypervector>>,
+    /// Lifetime event counters.
+    pub counters: StreamCounters,
+    /// Micro-batches committed to the meter.
+    pub batches: u64,
+    /// Points across committed batches.
+    pub points: u64,
+    /// Accumulated chip latency over committed batches, nanoseconds.
+    pub time_ns: f64,
+    /// Accumulated chip energy over committed batches, picojoules.
+    pub energy_pj: f64,
+}
+
+/// Backpressured streaming-clustering engine (see the crate docs for
+/// the stage diagram).
+#[derive(Debug, Clone)]
+pub struct StreamEngine<E> {
+    encoder: E,
+    config: StreamConfig,
+    ring: Ring<Vec<f64>>,
+    batcher: Batcher,
+    model: OnlineKMeans,
+    meter: StreamMeter,
+    counters: StreamCounters,
+}
+
+impl<E: Encoder + Sync> StreamEngine<E> {
+    /// An engine clustering `encoder`-encoded points under `config`,
+    /// priced with the paper's nominal cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] when `config` (or the
+    /// encoder geometry) is out of range.
+    pub fn new(encoder: E, config: StreamConfig) -> Result<Self, StreamError> {
+        Self::with_cost_model(encoder, config, CostModel::paper())
+    }
+
+    /// [`StreamEngine::new`] with an explicit chip cost model (e.g.
+    /// derated for device variation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] when `config` (or the
+    /// encoder geometry) is out of range.
+    pub fn with_cost_model(
+        encoder: E,
+        config: StreamConfig,
+        cost: CostModel,
+    ) -> Result<Self, StreamError> {
+        config.validate()?;
+        if encoder.dim() == 0 || encoder.n_features() == 0 {
+            return Err(StreamError::InvalidConfig {
+                name: "encoder",
+                reason: "dim and n_features must be positive",
+            });
+        }
+        let model = OnlineKMeans::new(
+            encoder.dim(),
+            config.k,
+            config.centroids_per_cluster,
+            config.decay,
+            config.shards,
+        );
+        Ok(Self {
+            encoder,
+            ring: Ring::with_capacity(config.capacity),
+            batcher: Batcher::new(config.max_batch, config.max_ticks),
+            model,
+            meter: StreamMeter::new(cost),
+            counters: StreamCounters::default(),
+            config,
+        })
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// The encoder driving the encode stage.
+    #[must_use]
+    pub fn encoder(&self) -> &E {
+        &self.encoder
+    }
+
+    /// Lifetime event counters.
+    #[must_use]
+    pub fn counters(&self) -> &StreamCounters {
+        &self.counters
+    }
+
+    /// The per-batch cost meter.
+    #[must_use]
+    pub fn meter(&self) -> &StreamMeter {
+        &self.meter
+    }
+
+    /// The online clustering model.
+    #[must_use]
+    pub fn model(&self) -> &OnlineKMeans {
+        &self.model
+    }
+
+    /// Points buffered but not yet clustered.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Current logical time.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.batcher.now()
+    }
+
+    /// Seed sub-centroid slots from explicit centers (before or
+    /// between batches); remaining slots seed themselves from the
+    /// first streamed points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::CentroidShape`] on a dimensionality
+    /// mismatch or when more centers arrive than free slots remain.
+    pub fn seed_centroids(&mut self, centers: &[Hypervector]) -> Result<(), StreamError> {
+        self.model.seed(centers)
+    }
+
+    /// Offer one point to the ingest ring.
+    ///
+    /// When the ring is full the configured [`BackpressurePolicy`]
+    /// decides: `Block` cuts one micro-batch inline (the producer
+    /// "blocks" on useful work) and then enqueues; `DropOldest` evicts
+    /// the stalest buffered point; `Reject` refuses the new point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::FeatureLength`] when the point's feature
+    /// count differs from the encoder's, and propagates encode errors
+    /// from an inline `Block` flush.
+    pub fn push(&mut self, features: &[f64]) -> Result<PushOutcome, StreamError> {
+        if features.len() != self.encoder.n_features() {
+            return Err(StreamError::FeatureLength {
+                expected: self.encoder.n_features(),
+                got: features.len(),
+            });
+        }
+        match self.ring.try_push(features.to_vec()) {
+            Ok(()) => {
+                self.counters.ingested += 1;
+                Ok(PushOutcome::Accepted)
+            }
+            Err(point) => match self.config.policy {
+                BackpressurePolicy::Block => {
+                    self.counters.inline_flushes += 1;
+                    self.cut_batch(CutReason::Backpressure)?;
+                    if let Err(point) = self.ring.try_push(point) {
+                        // Unreachable: the inline flush freed at least
+                        // one slot. Never lose the point regardless.
+                        let _ = self.ring.force_push(point);
+                    }
+                    self.counters.ingested += 1;
+                    Ok(PushOutcome::AcceptedAfterFlush)
+                }
+                BackpressurePolicy::DropOldest => {
+                    let _evicted = self.ring.force_push(point);
+                    self.counters.dropped += 1;
+                    self.counters.ingested += 1;
+                    Ok(PushOutcome::AcceptedDroppedOldest)
+                }
+                BackpressurePolicy::Reject => {
+                    self.counters.rejected += 1;
+                    Ok(PushOutcome::Rejected)
+                }
+            },
+        }
+    }
+
+    /// Advance the logical clock one tick and cut every micro-batch
+    /// that is due (size threshold first, then the deadline), returning
+    /// their costs in commit order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encode-stage errors.
+    pub fn tick(&mut self) -> Result<Vec<StreamBatchCost>, StreamError> {
+        self.batcher.tick();
+        let mut costs = Vec::new();
+        while let Some(reason) = self.batcher.due(self.ring.len()) {
+            costs.push(self.cut_batch(reason)?);
+        }
+        Ok(costs)
+    }
+
+    /// Flush every buffered point through the pipeline, regardless of
+    /// thresholds, returning the committed batch costs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encode-stage errors.
+    pub fn drain(&mut self) -> Result<Vec<StreamBatchCost>, StreamError> {
+        let mut costs = Vec::new();
+        while !self.ring.is_empty() {
+            costs.push(self.cut_batch(CutReason::Drain)?);
+        }
+        Ok(costs)
+    }
+
+    /// Export a consistent view of the engine between batches: current
+    /// centers per cluster, counters, pending depth, and accumulated
+    /// chip costs. Snapshots are bit-identical across thread counts
+    /// for the same pushed stream and tick schedule.
+    #[must_use]
+    pub fn snapshot(&self) -> StreamSnapshot {
+        StreamSnapshot {
+            tick: self.batcher.now(),
+            pending: self.ring.len(),
+            clusters: self.model.clusters(),
+            counters: self.counters,
+            batches: self.meter.batches(),
+            points: self.meter.points(),
+            time_ns: self.meter.total().time_ns(),
+            energy_pj: self.meter.total().energy_pj(),
+        }
+    }
+
+    /// Pop up to `max_batch` points and run them through
+    /// encode → assign → accumulate → re-binarize, committing the
+    /// batch's chip cost.
+    fn cut_batch(&mut self, reason: CutReason) -> Result<StreamBatchCost, StreamError> {
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(self.config.max_batch);
+        while rows.len() < self.config.max_batch {
+            match self.ring.pop() {
+                Some(p) => rows.push(p),
+                None => break,
+            }
+        }
+        let n = as_u64(rows.len());
+
+        // Encode stage: deterministic parallel fan-out, chunk order.
+        let encoder = &self.encoder;
+        let results: Vec<Result<Hypervector, dual_hdc::HdcError>> =
+            dual_pool::par_map_chunks(&rows, self.config.threads, |_, chunk| {
+                chunk.iter().map(|r| encoder.encode(r)).collect()
+            });
+        let mut encoded = Vec::with_capacity(rows.len());
+        for r in results {
+            encoded.push(r?);
+        }
+        self.charge_encode(n);
+
+        // Cluster stage.
+        let update = self.model.observe_batch(&encoded, self.config.threads);
+        self.charge_assign(n, self.model.seeded());
+        self.charge_update(n, as_u64(update.rebinarized));
+
+        self.counters.encoded += n;
+        self.counters.assigned += as_u64(update.assignments.len());
+        self.counters.seeded += as_u64(update.seeded);
+        self.counters.rebinarized += as_u64(update.rebinarized);
+        self.counters.batches += 1;
+        match reason {
+            CutReason::Size => self.counters.size_cuts += 1,
+            CutReason::Deadline => self.counters.deadline_cuts += 1,
+            CutReason::Backpressure => {} // counted as inline_flushes at push
+            CutReason::Drain => self.counters.drain_cuts += 1,
+        }
+        self.batcher.note_cut();
+        Ok(self.meter.commit_batch(n))
+    }
+
+    /// Charge the HD-Mapper encode pass for `n` points: per point, `m`
+    /// serial 8-bit multiplies, a log-tree 16-bit accumulation, and the
+    /// 3-term Taylor cosine (2 squarings + 2 constant multiplies + an
+    /// add chain), replicated across `ceil(D / 1024)` row blocks
+    /// (§V-A; mirrors `dual_core::PerfModel::encoding`).
+    fn charge_encode(&mut self, n: u64) {
+        let m = self.encoder.n_features();
+        let row_blocks = as_u64(self.encoder.dim().div_ceil(BLOCK_ROWS)).max(1);
+        let log_m = u64::from(m.max(2).next_power_of_two().trailing_zeros());
+        self.meter
+            .record_grid(Op::Mul { bits: 8 }, n * as_u64(m), row_blocks);
+        self.meter
+            .record_grid(Op::Add { bits: 16 }, n * (log_m + 3), row_blocks);
+        self.meter
+            .record_grid(Op::Mul { bits: 16 }, n * 4, row_blocks);
+    }
+
+    /// Charge the assignment pass: per query, `ceil(D / 7)` Hamming
+    /// window sweeps plus a bit-serial nearest search of
+    /// `ceil(bits(D) / 4)` 4-bit stages, both row-parallel across the
+    /// block(s) storing the `centroids` sub-centroid rows (§IV-A).
+    fn charge_assign(&mut self, n: u64, centroids: usize) {
+        let windows = as_u64(self.encoder.dim().div_ceil(7));
+        let centroid_blocks = as_u64(centroids.div_ceil(BLOCK_ROWS)).max(1);
+        let dist_bits = u64::from(usize::BITS - self.encoder.dim().leading_zeros());
+        let stages = dist_bits.div_ceil(4);
+        self.meter
+            .record_grid(Op::HammingWindow, n * windows, centroid_blocks);
+        self.meter
+            .record_grid(Op::NearestStage, n * stages, centroid_blocks);
+    }
+
+    /// Charge the centroid-update pass: one row-parallel 16-bit counter
+    /// add per point across the dimension blocks, plus a `D`-column NVM
+    /// write per re-binarized sub-centroid (§VI-C).
+    fn charge_update(&mut self, n: u64, rebinarized: u64) {
+        let row_blocks = as_u64(self.encoder.dim().div_ceil(BLOCK_ROWS)).max(1);
+        self.meter.record_grid(Op::Add { bits: 16 }, n, row_blocks);
+        let bits = u32::try_from(self.encoder.dim()).unwrap_or(u32::MAX);
+        self.meter.record_serial(Op::Write { bits }, rebinarized);
+    }
+}
+
+/// Lossless `usize → u64` (saturating on a hypothetical >64-bit
+/// platform), without a lint-audited `as` cast.
+fn as_u64(x: usize) -> u64 {
+    u64::try_from(x).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dual_hdc::HdMapper;
+
+    fn engine(config: StreamConfig) -> StreamEngine<HdMapper> {
+        let mapper = HdMapper::new(64, 2, 7).unwrap();
+        StreamEngine::new(mapper, config).unwrap()
+    }
+
+    fn point(i: usize) -> Vec<f64> {
+        let x = i as f64;
+        vec![(x * 0.37).sin() * 3.0, (x * 0.11).cos() * 3.0]
+    }
+
+    #[test]
+    fn config_validation_names_the_parameter() {
+        let mut c = StreamConfig::new(0);
+        assert!(matches!(
+            c.validate(),
+            Err(StreamError::InvalidConfig { name: "k", .. })
+        ));
+        c.k = 2;
+        c.decay = 1.5;
+        assert!(matches!(
+            c.validate(),
+            Err(StreamError::InvalidConfig { name: "decay", .. })
+        ));
+        c.decay = 0.5;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn push_rejects_wrong_feature_count() {
+        let mut e = engine(StreamConfig::new(2));
+        assert!(matches!(
+            e.push(&[1.0, 2.0, 3.0]),
+            Err(StreamError::FeatureLength {
+                expected: 2,
+                got: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn size_trigger_cuts_on_tick() {
+        let mut cfg = StreamConfig::new(2);
+        cfg.max_batch = 4;
+        cfg.max_ticks = 1000;
+        let mut e = engine(cfg);
+        for i in 0..9 {
+            assert_eq!(e.push(&point(i)).unwrap(), PushOutcome::Accepted);
+        }
+        let costs = e.tick().unwrap();
+        assert_eq!(costs.len(), 2); // two full batches of 4; 1 point stays
+        assert_eq!(e.pending(), 1);
+        assert_eq!(e.counters().size_cuts, 2);
+        assert_eq!(e.counters().encoded, 8);
+        assert!(costs.iter().all(|c| c.energy_pj > 0.0 && c.time_ns > 0.0));
+    }
+
+    #[test]
+    fn deadline_trigger_cuts_late_stragglers() {
+        let mut cfg = StreamConfig::new(2);
+        cfg.max_batch = 100;
+        cfg.max_ticks = 3;
+        let mut e = engine(cfg);
+        e.push(&point(0)).unwrap();
+        assert!(e.tick().unwrap().is_empty());
+        assert!(e.tick().unwrap().is_empty());
+        let costs = e.tick().unwrap();
+        assert_eq!(costs.len(), 1);
+        assert_eq!(costs[0].points, 1);
+        assert_eq!(e.counters().deadline_cuts, 1);
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn block_policy_flushes_inline_and_never_loses_points() {
+        let mut cfg = StreamConfig::new(2);
+        cfg.capacity = 4;
+        cfg.max_batch = 4;
+        cfg.policy = BackpressurePolicy::Block;
+        let mut e = engine(cfg);
+        for i in 0..4 {
+            assert_eq!(e.push(&point(i)).unwrap(), PushOutcome::Accepted);
+        }
+        assert_eq!(e.push(&point(4)).unwrap(), PushOutcome::AcceptedAfterFlush);
+        assert_eq!(e.counters().inline_flushes, 1);
+        assert_eq!(e.counters().encoded, 4);
+        assert_eq!(e.pending(), 1);
+        e.drain().unwrap();
+        assert_eq!(e.counters().ingested, 5);
+        assert_eq!(e.counters().encoded, 5);
+    }
+
+    #[test]
+    fn drop_oldest_policy_sheds_load_without_deadlock() {
+        let mut cfg = StreamConfig::new(2);
+        cfg.capacity = 3;
+        cfg.policy = BackpressurePolicy::DropOldest;
+        let mut e = engine(cfg);
+        for i in 0..100 {
+            let out = e.push(&point(i)).unwrap();
+            assert!(matches!(
+                out,
+                PushOutcome::Accepted | PushOutcome::AcceptedDroppedOldest
+            ));
+            assert!(e.pending() <= 3);
+        }
+        assert_eq!(e.counters().dropped, 97);
+        assert_eq!(e.counters().ingested, 100);
+        e.drain().unwrap();
+        assert_eq!(e.counters().encoded, 3); // only the freshest survive
+    }
+
+    #[test]
+    fn reject_policy_refuses_and_buffers_nothing_new() {
+        let mut cfg = StreamConfig::new(2);
+        cfg.capacity = 2;
+        cfg.policy = BackpressurePolicy::Reject;
+        let mut e = engine(cfg);
+        e.push(&point(0)).unwrap();
+        e.push(&point(1)).unwrap();
+        assert_eq!(e.push(&point(2)).unwrap(), PushOutcome::Rejected);
+        assert_eq!(e.counters().rejected, 1);
+        assert_eq!(e.pending(), 2);
+    }
+
+    #[test]
+    fn drain_empties_the_ring_and_snapshot_is_consistent() {
+        let mut cfg = StreamConfig::new(3);
+        cfg.max_batch = 8;
+        let mut e = engine(cfg);
+        for i in 0..20 {
+            e.push(&point(i)).unwrap();
+        }
+        let costs = e.drain().unwrap();
+        assert_eq!(costs.len(), 3); // 8 + 8 + 4
+        let snap = e.snapshot();
+        assert_eq!(snap.pending, 0);
+        assert_eq!(snap.points, 20);
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.clusters.len(), 3);
+        assert_eq!(snap.clusters.iter().map(Vec::len).sum::<usize>(), 3);
+        assert_eq!(snap.counters.drain_cuts, 3);
+        assert!(snap.energy_pj > 0.0 && snap.time_ns > 0.0);
+    }
+
+    #[test]
+    fn snapshots_are_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut cfg = StreamConfig::new(3);
+            cfg.threads = threads;
+            cfg.max_batch = 16;
+            cfg.decay = 0.9;
+            cfg.centroids_per_cluster = 2;
+            let mut e = engine(cfg);
+            for i in 0..100 {
+                e.push(&point(i)).unwrap();
+                if i % 10 == 9 {
+                    e.tick().unwrap();
+                }
+            }
+            e.drain().unwrap();
+            e.snapshot()
+        };
+        let gold = run(1);
+        for threads in [0, 2, 3, 8] {
+            let snap = run(threads);
+            assert_eq!(snap.clusters, gold.clusters, "threads={threads}");
+            assert_eq!(snap.counters, gold.counters, "threads={threads}");
+            assert_eq!(snap.energy_pj.to_bits(), gold.energy_pj.to_bits());
+        }
+    }
+
+    #[test]
+    fn seeded_centroids_shape_is_enforced() {
+        let mut e = engine(StreamConfig::new(2));
+        assert!(matches!(
+            e.seed_centroids(&[Hypervector::zeros(32)]),
+            Err(StreamError::CentroidShape { .. })
+        ));
+        assert!(e
+            .seed_centroids(&[Hypervector::zeros(64), Hypervector::zeros(64)])
+            .is_ok());
+        assert!(matches!(
+            e.seed_centroids(&[Hypervector::zeros(64)]),
+            Err(StreamError::CentroidShape { .. })
+        ));
+    }
+
+    #[test]
+    fn encoder_geometry_is_validated() {
+        struct NullEncoder;
+        impl Encoder for NullEncoder {
+            fn dim(&self) -> usize {
+                0
+            }
+            fn n_features(&self) -> usize {
+                1
+            }
+            fn encode(&self, _: &[f64]) -> Result<Hypervector, dual_hdc::HdcError> {
+                Ok(Hypervector::zeros(1))
+            }
+        }
+        assert!(matches!(
+            StreamEngine::new(NullEncoder, StreamConfig::new(2)),
+            Err(StreamError::InvalidConfig {
+                name: "encoder",
+                ..
+            })
+        ));
+    }
+}

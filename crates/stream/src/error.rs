@@ -1,0 +1,90 @@
+//! Typed errors of the streaming engine.
+
+use std::fmt;
+
+/// Everything that can go wrong while configuring or driving a
+/// [`crate::StreamEngine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StreamError {
+    /// A configuration parameter is out of range.
+    InvalidConfig {
+        /// Which parameter.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// A pushed point's feature count differs from the encoder's.
+    FeatureLength {
+        /// Features the encoder expects.
+        expected: usize,
+        /// Features the point carried.
+        got: usize,
+    },
+    /// Seeded centroids did not match the engine geometry.
+    CentroidShape {
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// An encoder error surfaced from the encode stage.
+    Encode(dual_hdc::HdcError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { name, reason } => {
+                write!(f, "invalid stream config `{name}`: {reason}")
+            }
+            Self::FeatureLength { expected, got } => {
+                write!(f, "point has {got} features, encoder expects {expected}")
+            }
+            Self::CentroidShape { reason } => write!(f, "bad seeded centroids: {reason}"),
+            Self::Encode(e) => write!(f, "encode stage failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Encode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dual_hdc::HdcError> for StreamError {
+    fn from(e: dual_hdc::HdcError) -> Self {
+        Self::Encode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = StreamError::FeatureLength {
+            expected: 4,
+            got: 2,
+        };
+        assert!(e.to_string().contains("2 features"));
+        let e = StreamError::InvalidConfig {
+            name: "capacity",
+            reason: "must be positive",
+        };
+        assert!(e.to_string().contains("capacity"));
+    }
+
+    #[test]
+    fn encode_errors_chain_a_source() {
+        use std::error::Error;
+        let e = StreamError::from(dual_hdc::HdcError::FeatureLength {
+            expected: 3,
+            got: 1,
+        });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,249 @@
+//! Sharded Hamming centroid index.
+//!
+//! DUAL's chip partitions stored hypervectors across crossbar blocks
+//! and searches every block in parallel (§V-C); the software analogue
+//! keeps the sub-centroid set split into `shards` contiguous slices and
+//! answers nearest/top-k queries by merging per-shard results under the
+//! same `(distance, index)` total order that
+//! [`dual_hdc::search::top_k`] sorts by. Because shards are contiguous
+//! and merged in shard order, every query is **bit-identical** to a
+//! flat scan over the whole set — sharding changes the execution shape,
+//! never the answer.
+
+use dual_hdc::search;
+use dual_hdc::Hypervector;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// A set of sub-centroids partitioned into contiguous shards.
+///
+/// The index *owns* the centroid storage: the online-clustering layer
+/// reads current centers through [`ShardedIndex::centroids`] and
+/// rewrites them in place via [`ShardedIndex::set`], so there is a
+/// single source of truth for "what does the chip currently store".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedIndex {
+    centroids: Vec<Hypervector>,
+    shards: usize,
+}
+
+impl ShardedIndex {
+    /// An index over `centroids` split into at most `shards` contiguous
+    /// slices (fewer when there are fewer centroids than shards).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0`.
+    #[must_use]
+    pub fn new(centroids: Vec<Hypervector>, shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        Self { centroids, shards }
+    }
+
+    /// Number of stored sub-centroids.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Whether nothing is stored yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.centroids.is_empty()
+    }
+
+    /// Configured shard count (an upper bound; actual shards never
+    /// outnumber stored centroids).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// All stored sub-centroids, in global index order.
+    #[must_use]
+    pub fn centroids(&self) -> &[Hypervector] {
+        &self.centroids
+    }
+
+    /// Append a sub-centroid, returning its global index.
+    pub fn push(&mut self, hv: Hypervector) -> usize {
+        self.centroids.push(hv);
+        self.centroids.len() - 1
+    }
+
+    /// Overwrite the sub-centroid at global index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn set(&mut self, i: usize, hv: Hypervector) {
+        assert!(i < self.centroids.len(), "centroid index out of range");
+        self.centroids[i] = hv;
+    }
+
+    /// The contiguous global-index range of each shard. Boundaries are
+    /// a pure function of `(len, shards)` — the same balanced split the
+    /// worker pool uses — so the shard layout is deterministic.
+    #[must_use]
+    pub fn shard_ranges(&self) -> Vec<Range<usize>> {
+        dual_pool::chunk_ranges(self.centroids.len(), self.shards)
+    }
+
+    /// Global index and Hamming distance of the sub-centroid nearest to
+    /// `query`: per-shard winners (via [`search::top_k`] with `k = 1`)
+    /// folded in shard order, so ties break toward the lowest global
+    /// index exactly as a flat [`search::nearest`] scan does. `None`
+    /// when the index is empty.
+    #[must_use]
+    pub fn nearest(&self, query: &Hypervector) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, usize)> = None;
+        for r in self.shard_ranges() {
+            for (i, d) in search::top_k(query, &self.centroids[r.clone()], 1) {
+                let gi = r.start + i;
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((gi, d));
+                }
+            }
+        }
+        best
+    }
+
+    /// The `k` sub-centroids nearest to `query`, merged from per-shard
+    /// [`search::top_k`] lists under the `(distance, index)` total
+    /// order — bit-identical to `search::top_k` over the flat set.
+    #[must_use]
+    pub fn top_k(&self, query: &Hypervector, k: usize) -> Vec<(usize, usize)> {
+        let mut merged: Vec<(usize, usize)> = Vec::new();
+        for r in self.shard_ranges() {
+            merged.extend(
+                search::top_k(query, &self.centroids[r.clone()], k)
+                    .into_iter()
+                    .map(|(i, d)| (r.start + i, d)),
+            );
+        }
+        merged.sort_by_key(|&(i, d)| (d, i));
+        merged.truncate(k);
+        merged
+    }
+
+    /// Assign every query to its nearest sub-centroid, chunking queries
+    /// across up to `threads` scoped workers (`0` = auto). The output
+    /// is bit-identical to [`search::assign_batch`] over the flat
+    /// centroid set for every `(shards, threads)` combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is empty (an assignment target must
+    /// exist).
+    #[must_use]
+    pub fn assign(&self, queries: &[Hypervector], threads: usize) -> Vec<(usize, usize)> {
+        assert!(!self.is_empty(), "cannot assign against an empty index");
+        let mut out = vec![(0usize, 0usize); queries.len()];
+        dual_pool::par_fill(&mut out, threads, |offset, slots| {
+            for (slot, q) in slots.iter_mut().zip(&queries[offset..]) {
+                // Non-empty index: `nearest` always finds a winner; the
+                // fallback keeps the closure total without panicking.
+                *slot = self.nearest(q).unwrap_or((0, 0));
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dual_hdc::ops::random_hypervector;
+
+    fn pool(n: usize, dim: usize, seed: u64) -> Vec<Hypervector> {
+        (0..n)
+            .map(|i| random_hypervector(dim, seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect()
+    }
+
+    #[test]
+    fn sharded_nearest_matches_flat_scan() {
+        for n in [1usize, 2, 7, 63, 64, 65] {
+            let cents = pool(n, 256, 11);
+            let queries = pool(9, 256, 5);
+            for shards in [1usize, 2, 3, 8, 64] {
+                let idx = ShardedIndex::new(cents.clone(), shards);
+                for q in &queries {
+                    assert_eq!(
+                        idx.nearest(q),
+                        search::nearest(q, &cents),
+                        "n={n} shards={shards}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_top_k_matches_flat_top_k() {
+        let cents = pool(40, 128, 3);
+        let q = Hypervector::zeros(128);
+        for shards in [1usize, 2, 3, 7, 40, 100] {
+            let idx = ShardedIndex::new(cents.clone(), shards);
+            for k in [0usize, 1, 5, 40, 60] {
+                assert_eq!(
+                    idx.top_k(&q, k),
+                    search::top_k(&q, &cents, k),
+                    "shards={shards} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assign_matches_assign_batch_for_all_shapes() {
+        let cents = pool(10, 128, 17);
+        let queries = pool(33, 128, 29);
+        let want = search::assign_batch(&queries, &cents, 1);
+        for shards in [1usize, 2, 3, 10] {
+            let idx = ShardedIndex::new(cents.clone(), shards);
+            for threads in [0usize, 1, 2, 3, 8] {
+                assert_eq!(
+                    idx.assign(&queries, threads),
+                    want,
+                    "shards={shards} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ties_break_toward_low_global_index_across_shard_boundaries() {
+        let q = Hypervector::zeros(16);
+        let cents = vec![q.clone(), q.clone(), q.clone(), q.clone()];
+        for shards in [1usize, 2, 4] {
+            let idx = ShardedIndex::new(cents.clone(), shards);
+            assert_eq!(idx.nearest(&q), Some((0, 0)), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn push_and_set_manage_storage() {
+        let mut idx = ShardedIndex::new(Vec::new(), 4);
+        assert!(idx.is_empty());
+        assert_eq!(idx.nearest(&Hypervector::zeros(8)), None);
+        assert_eq!(idx.push(Hypervector::zeros(8)), 0);
+        assert_eq!(idx.push(Hypervector::zeros(8)), 1);
+        idx.set(1, Hypervector::from_bitvec(dual_hdc::BitVec::ones(8)));
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.centroids()[1].bits().count_ones(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn zero_shards_rejected() {
+        let _ = ShardedIndex::new(Vec::new(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty index")]
+    fn assign_rejects_empty_index() {
+        let idx = ShardedIndex::new(Vec::new(), 2);
+        let _ = idx.assign(&[Hypervector::zeros(8)], 1);
+    }
+}

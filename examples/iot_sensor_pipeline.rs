@@ -1,115 +1,112 @@
-//! IoT sensor-stream scenario (the paper's motivating domain): cluster
-//! unlabeled gas-sensor readings on the accelerator and project the
-//! deployment's speed/energy against a GPU server.
+//! IoT sensor-stream scenario (the paper's motivating domain): an
+//! unbounded stream of drifting gas-sensor readings flows through the
+//! backpressured streaming engine — bounded ingest ring, micro-batch
+//! cutting, online HD encoding, decayed mini-batch k-means — with every
+//! micro-batch priced on the DUAL chip's cost model.
 //!
 //! ```text
 //! cargo run --release --example iot_sensor_pipeline
 //! ```
 
-use dual::baseline::{Algorithm, GpuModel};
-use dual::cluster::{cluster_accuracy, normalized_mutual_information};
-use dual::core::{DualAccelerator, DualConfig, PerfModel, Phase};
-use dual::data::{catalog, Workload};
+use dual::data::DriftSpec;
+use dual::hdc::HdMapper;
+use dual::stream::{BackpressurePolicy, StreamConfig, StreamEngine, StreamSnapshot};
+
+/// Sensor surrogate: 16-channel readings drifting over 6 regimes.
+const FEATURES: usize = 16;
+const CLUSTERS: usize = 6;
+const POINTS: usize = 6_000;
+
+/// Run the full pipeline under one backpressure policy: push the
+/// drifting stream, ticking the consumer clock every `tick_every`
+/// points, then drain and snapshot.
+fn run_policy(
+    policy: BackpressurePolicy,
+    tick_every: usize,
+) -> Result<StreamSnapshot, Box<dyn std::error::Error>> {
+    let encoder = HdMapper::builder(1024, FEATURES)
+        .seed(7)
+        .sigma(6.0)
+        .build()?;
+    let mut cfg = StreamConfig::new(CLUSTERS);
+    cfg.policy = policy;
+    cfg.capacity = 192; // a small edge-gateway buffer
+    cfg.max_batch = 128;
+    cfg.max_ticks = 4;
+    cfg.centroids_per_cluster = 2; // MEMHD-style multi-centroid memory
+    cfg.decay = 0.9; // fade stale regimes as the sensors drift
+    let mut engine = StreamEngine::new(encoder, cfg)?;
+
+    let mut spec = DriftSpec::new(FEATURES, CLUSTERS);
+    spec.drift_rate = 2e-3;
+    for (i, (point, _regime)) in spec.stream(42).take(POINTS).enumerate() {
+        engine.push(&point)?;
+        if (i + 1) % tick_every == 0 {
+            engine.tick()?;
+        }
+    }
+    engine.drain()?;
+    Ok(engine.snapshot())
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. A scaled-down surrogate of the SENSOR workload (gas sensor
-    //    array drift: 129 features, 6 classes).
-    let spec = catalog::workload(Workload::Sensor);
-    let ds = spec.generate(0.01, 99); // ~140 points for the demo
     println!(
-        "workload: {} ({} points of {} at demo scale, {} features, {} clusters)",
-        ds.name,
-        ds.len(),
-        spec.n_points,
-        ds.n_features(),
-        ds.n_clusters
+        "streaming {POINTS} drifting {FEATURES}-channel readings over {CLUSTERS} sensor regimes\n"
     );
 
-    // 2. Cluster the stream on the functional accelerator with DBSCAN —
-    //    the algorithm of choice for unknown cluster counts.
-    let dim = 1024;
-    // Kernel bandwidth: a quarter of the median pairwise distance of the
-    // raw readings (the usual RBF heuristic for unnormalized data).
-    let mut dists: Vec<f64> = Vec::new();
-    for i in (0..ds.len()).step_by(2) {
-        for j in (i + 1..ds.len()).step_by(2) {
-            dists.push(dual::cluster::euclidean(&ds.points[i], &ds.points[j]));
-        }
-    }
-    dists.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let median = dists[dists.len() / 2];
-    // Tune σ and ε on this labeled staging sample (NMI-selected, as one
-    // would validate a deployment before going live), then report the
-    // resulting accuracy.
-    let mut best: Option<(f64, f64, usize, dual::core::DualClusteringOutcome)> = None;
-    for sigma_mult in [0.15, 0.25, 0.35, 0.5] {
-        let accel = DualAccelerator::with_sigma(
-            DualConfig::paper().with_dim(dim),
-            ds.n_features(),
-            3,
-            median * sigma_mult,
-        )?;
-        let encoded = accel.encode(&ds.points)?;
-        let mut nn: Vec<usize> = (0..encoded.len())
-            .map(|i| {
-                (0..encoded.len())
-                    .filter(|&j| j != i)
-                    .map(|j| encoded[i].hamming(&encoded[j]))
-                    .min()
-                    .unwrap_or(0)
-            })
-            .collect();
-        nn.sort_unstable();
-        let median_nn = nn[nn.len() / 2] as f64;
-        for factor in [1.02, 1.05, 1.1, 1.15, 1.2, 1.3, 1.45] {
-            let eps = factor * median_nn / dim as f64;
-            let run = accel.fit_dbscan(&ds.points, eps)?;
-            let clusters = run
-                .labels
-                .iter()
-                .collect::<std::collections::HashSet<_>>()
-                .len();
-            if clusters > 3 * ds.n_clusters {
-                continue; // fragmented — skip
-            }
-            let score = normalized_mutual_information(&run.labels, &ds.labels);
-            if best.as_ref().is_none_or(|(s, ..)| score > *s) {
-                best = Some((score, sigma_mult, clusters, run));
-            }
-        }
-    }
-    let (_, sigma_mult, clusters, outcome) = best.expect("some configuration fits");
+    // 1. The deployment configuration: a well-ticked consumer under
+    //    Block (lossless) backpressure.
+    let snap = run_policy(BackpressurePolicy::Block, 64)?;
+    println!("deployment run (policy = block, tick every 64 points):");
     println!(
-        "DUAL DBSCAN (sigma = {sigma_mult} x median distance, tuned eps) found {clusters} clusters, accuracy {:.3}",
-        cluster_accuracy(&outcome.labels, &ds.labels)
+        "  batches: {} ({} size cuts, {} deadline cuts, {} drain cuts)",
+        snap.batches,
+        snap.counters.size_cuts,
+        snap.counters.deadline_cuts,
+        snap.counters.drain_cuts
+    );
+    println!(
+        "  points clustered: {} / {} ingested (0 lost)",
+        snap.points, snap.counters.ingested
+    );
+    println!(
+        "  centroid slots: {} seeded, {} majority rewrites",
+        snap.counters.seeded, snap.counters.rebinarized
+    );
+    println!(
+        "  chip cost: {:.2} ms, {:.2} uJ ({:.1} nJ/point)",
+        snap.time_ns / 1e6,
+        snap.energy_pj / 1e6,
+        snap.energy_pj / snap.points as f64 / 1e3,
     );
 
-    // 3. Project the full-scale deployment: DUAL chip vs GPU server.
-    let cfg = DualConfig::paper();
-    let model = PerfModel::new(cfg);
-    let dual = model
-        .dbscan(spec.n_points)
-        .preceded_by(model.encoding(spec.n_points, spec.n_features));
-    let gpu = GpuModel::gtx_1080().cost(
-        Algorithm::Dbscan,
-        spec.n_points,
-        spec.n_features,
-        spec.n_clusters,
-        1,
-    );
-    println!("\nfull-scale projection ({} points):", spec.n_points);
-    println!(
-        "  DUAL: {:.3} s, {:.1} J  (hamming {:.0}%, accumulate {:.0}%)",
-        dual.time_s(),
-        dual.energy_j(),
-        100.0 * dual.phase_fraction(Phase::Hamming),
-        100.0 * dual.phase_fraction(Phase::Accumulate),
-    );
-    println!("  GPU : {:.3} s, {:.1} J", gpu.time_s(), gpu.energy_j);
-    println!(
-        "  => {:.1}x faster, {:.1}x more energy-efficient",
-        gpu.time_s() / dual.time_s(),
-        gpu.energy_j / dual.energy_j()
-    );
+    // The control plane must expose exactly k clusters, fully seeded.
+    let clusters = snap.clusters.len();
+    let sub_centroids: usize = snap.clusters.iter().map(Vec::len).sum();
+    println!("  clusters tracked: {clusters} ({sub_centroids} sub-centroids)\n");
+    assert_eq!(clusters, CLUSTERS, "engine must track exactly k clusters");
+    assert_eq!(sub_centroids, 2 * CLUSTERS, "all sub-centroid slots seeded");
+    assert_eq!(snap.pending, 0, "drain leaves nothing buffered");
+    assert_eq!(snap.points, POINTS as u64, "block policy loses nothing");
+
+    // 2. The same stream against a saturated, rarely-ticked consumer:
+    //    how each backpressure policy degrades.
+    println!("saturated consumer (tick every 1024 points):");
+    println!("  policy       ingested  clustered   dropped  rejected");
+    for policy in [
+        BackpressurePolicy::Block,
+        BackpressurePolicy::DropOldest,
+        BackpressurePolicy::Reject,
+    ] {
+        let s = run_policy(policy, 1024)?;
+        println!(
+            "  {:<12} {:>8} {:>10} {:>9} {:>9}",
+            policy.name(),
+            s.counters.ingested,
+            s.points,
+            s.counters.dropped,
+            s.counters.rejected
+        );
+    }
     Ok(())
 }

@@ -178,6 +178,89 @@ fn encode_parallel_matches_encode_for_degenerate_thread_counts() {
 }
 
 #[test]
+fn stream_engine_snapshots_are_bit_identical_across_thread_counts() {
+    use dual_hdc::HdMapper;
+    use dual_stream::{StreamConfig, StreamEngine};
+
+    // The full pipeline — ring, batcher, parallel encode, sharded
+    // assignment, decayed accumulators, cost meter — must export the
+    // same snapshot for every thread count, including energy bits.
+    let run = |threads: usize, shards: usize| {
+        let encoder = HdMapper::builder(256, 4)
+            .seed(3)
+            .sigma(4.0)
+            .build()
+            .unwrap();
+        let mut cfg = StreamConfig::new(4);
+        cfg.threads = threads;
+        cfg.shards = shards;
+        cfg.max_batch = 32;
+        cfg.max_ticks = 3;
+        cfg.decay = 0.85;
+        cfg.centroids_per_cluster = 2;
+        let mut engine = StreamEngine::new(encoder, cfg).unwrap();
+        let mut stream = dual_data::DriftSpec::new(4, 4).stream(99);
+        for i in 0..300 {
+            let (point, _) = stream.next().unwrap();
+            engine.push(&point).unwrap();
+            if i % 7 == 6 {
+                engine.tick().unwrap();
+            }
+        }
+        engine.drain().unwrap();
+        engine.snapshot()
+    };
+    let gold = run(1, 1);
+    for &threads in &THREADS {
+        for shards in [1usize, 2, 3, 8] {
+            let snap = run(threads, shards);
+            assert_eq!(
+                snap.clusters, gold.clusters,
+                "centroids differ threads={threads} shards={shards}"
+            );
+            assert_eq!(
+                snap.counters, gold.counters,
+                "threads={threads} shards={shards}"
+            );
+            assert_eq!(
+                snap.energy_pj.to_bits(),
+                gold.energy_pj.to_bits(),
+                "energy differs threads={threads} shards={shards}"
+            );
+            assert_eq!(
+                snap.time_ns.to_bits(),
+                gold.time_ns.to_bits(),
+                "latency differs threads={threads} shards={shards}"
+            );
+        }
+    }
+}
+
+#[test]
+fn stream_assign_batch_matches_sharded_index_for_all_shapes() {
+    for &n in &SIZES {
+        let queries = hypervectors(n, 256, 51 + n as u64);
+        let centroids = hypervectors(6, 256, 77);
+        let want = search::assign_batch(&queries, &centroids, 1);
+        for &threads in &THREADS {
+            assert_eq!(
+                search::assign_batch(&queries, &centroids, threads),
+                want,
+                "assign_batch n={n} threads={threads}"
+            );
+            for shards in [1usize, 2, 6] {
+                let idx = dual_stream::ShardedIndex::new(centroids.clone(), shards);
+                assert_eq!(
+                    idx.assign(&queries, threads),
+                    want,
+                    "sharded n={n} threads={threads} shards={shards}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn pool_primitives_are_thread_count_invariant() {
     use dual_core::pool;
     let data: Vec<u64> = (0..1000).map(|i| i * 2654435761 % 97).collect();

@@ -142,6 +142,38 @@ proptest! {
     }
 
     #[test]
+    fn prop_undecayed_stream_batch_is_one_lloyd_step(
+        n in 1usize..40,
+        k in 1usize..5,
+        seed in proptest::arbitrary::any::<u64>(),
+        threads in 0usize..5,
+        shards in 1usize..5,
+    ) {
+        // The streaming update with decay = 1.0, one sub-centroid per
+        // cluster, and pre-seeded centers must compute exactly one
+        // batch Lloyd step: same labels, same majority votes, and
+        // untouched centers exactly where the batch step votes None.
+        let points: Vec<Hypervector> = (0..n)
+            .map(|i| random_hypervector(96, seed.wrapping_add(i as u64)))
+            .collect();
+        let centers: Vec<Hypervector> = (0..k)
+            .map(|i| random_hypervector(96, seed.wrapping_mul(7).wrapping_add(i as u64)))
+            .collect();
+        let (labels, votes) = dual_cluster::hamming_lloyd_step(&points, &centers, 1);
+
+        let mut model = dual_stream::OnlineKMeans::new(96, k, 1, 1.0, shards);
+        model.seed(&centers).unwrap();
+        let update = model.observe_batch(&points, threads);
+        let stream_labels: Vec<usize> =
+            update.assignments.iter().map(|&(slot, _)| slot).collect();
+        prop_assert_eq!(stream_labels, labels);
+        for (slot, vote) in votes.iter().enumerate() {
+            let want = vote.as_ref().unwrap_or(&centers[slot]);
+            prop_assert_eq!(&model.centroids()[slot], want, "slot {}", slot);
+        }
+    }
+
+    #[test]
     fn prop_search_nearest_agrees_with_top1(
         n in 0usize..40,
         seed in proptest::arbitrary::any::<u64>(),

@@ -1,0 +1,204 @@
+//! End-to-end behaviour of the `dual-stream` engine: backpressure
+//! policy semantics, conservation laws between the stage counters,
+//! saturation safety, and the example scenario as a smoke test.
+
+use dual_data::DriftSpec;
+use dual_hdc::HdMapper;
+use dual_stream::{BackpressurePolicy, PushOutcome, StreamConfig, StreamEngine, StreamError};
+
+const FEATURES: usize = 4;
+
+fn encoder(dim: usize) -> HdMapper {
+    HdMapper::builder(dim, FEATURES)
+        .seed(11)
+        .sigma(4.0)
+        .build()
+        .unwrap()
+}
+
+fn config(k: usize) -> StreamConfig {
+    let mut cfg = StreamConfig::new(k);
+    cfg.capacity = 64;
+    cfg.max_batch = 16;
+    cfg.max_ticks = 4;
+    cfg
+}
+
+fn stream_points(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    DriftSpec::new(FEATURES, 3)
+        .stream(seed)
+        .take(n)
+        .map(|(p, _)| p)
+        .collect()
+}
+
+#[test]
+fn block_policy_conserves_every_point() {
+    let mut engine = StreamEngine::new(encoder(128), config(3)).unwrap();
+    let mut inline = 0u64;
+    for (i, p) in stream_points(500, 1).iter().enumerate() {
+        match engine.push(p).unwrap() {
+            PushOutcome::Accepted => {}
+            PushOutcome::AcceptedAfterFlush => inline += 1,
+            other => panic!("unexpected outcome under Block: {other:?}"),
+        }
+        if i % 100 == 99 {
+            engine.tick().unwrap();
+        }
+    }
+    engine.drain().unwrap();
+    let snap = engine.snapshot();
+    assert_eq!(snap.counters.ingested, 500);
+    assert_eq!(snap.points, 500); // nothing lost, ever
+    assert_eq!(snap.counters.inline_flushes, inline);
+    assert!(inline > 0, "a 64-slot ring at this tick cadence must fill");
+    assert_eq!(snap.pending, 0);
+    assert_eq!(
+        snap.counters.encoded, snap.counters.assigned,
+        "every encoded point is assigned"
+    );
+}
+
+#[test]
+fn drop_oldest_saturated_ring_never_deadlocks_or_overflows() {
+    // Zero ticks: the consumer is wedged, the producer firehoses. The
+    // engine must keep accepting forever, shedding the oldest points,
+    // with the ring pinned at capacity.
+    let mut cfg = config(2);
+    cfg.capacity = 8;
+    cfg.policy = BackpressurePolicy::DropOldest;
+    let mut engine = StreamEngine::new(encoder(64), cfg).unwrap();
+    for p in stream_points(10_000, 2) {
+        let outcome = engine.push(&p).unwrap();
+        assert!(matches!(
+            outcome,
+            PushOutcome::Accepted | PushOutcome::AcceptedDroppedOldest
+        ));
+        assert!(engine.pending() <= 8);
+    }
+    let snap = engine.snapshot();
+    assert_eq!(snap.counters.ingested, 10_000);
+    assert_eq!(snap.counters.dropped, 10_000 - 8);
+    assert_eq!(snap.batches, 0, "no consumer ran");
+    // And the engine still works afterwards: drain clusters the 8
+    // freshest points.
+    engine.drain().unwrap();
+    assert_eq!(engine.snapshot().points, 8);
+}
+
+#[test]
+fn reject_policy_never_buffers_past_capacity() {
+    let mut cfg = config(2);
+    cfg.capacity = 10;
+    cfg.policy = BackpressurePolicy::Reject;
+    let mut engine = StreamEngine::new(encoder(64), cfg).unwrap();
+    let mut rejected = 0u64;
+    for p in stream_points(100, 3) {
+        if engine.push(&p).unwrap() == PushOutcome::Rejected {
+            rejected += 1;
+        }
+    }
+    assert_eq!(rejected, 90);
+    let snap = engine.snapshot();
+    assert_eq!(snap.counters.rejected, 90);
+    assert_eq!(snap.counters.ingested, 10);
+    assert_eq!(snap.pending, 10);
+}
+
+#[test]
+fn meter_totals_are_the_sum_of_batch_costs() {
+    let mut engine = StreamEngine::new(encoder(256), config(3)).unwrap();
+    let mut costs = Vec::new();
+    for (i, p) in stream_points(200, 4).iter().enumerate() {
+        engine.push(p).unwrap();
+        if i % 10 == 9 {
+            costs.extend(engine.tick().unwrap());
+        }
+    }
+    costs.extend(engine.drain().unwrap());
+    assert!(!costs.is_empty());
+    // Batch sequence numbers are 1-based and contiguous.
+    for (i, c) in costs.iter().enumerate() {
+        assert_eq!(c.batch, i as u64 + 1);
+        assert!(c.energy_pj > 0.0 && c.time_ns > 0.0);
+    }
+    let snap = engine.snapshot();
+    let sum_e: f64 = costs.iter().map(|c| c.energy_pj).sum();
+    let sum_t: f64 = costs.iter().map(|c| c.time_ns).sum();
+    let sum_p: u64 = costs.iter().map(|c| c.points).sum();
+    assert_eq!(sum_p, snap.points);
+    assert!((sum_e - snap.energy_pj).abs() < 1e-6 * snap.energy_pj.max(1.0));
+    assert!((sum_t - snap.time_ns).abs() < 1e-6 * snap.time_ns.max(1.0));
+}
+
+#[test]
+fn deadline_cuts_flush_stragglers_without_size_pressure() {
+    let mut engine = StreamEngine::new(encoder(64), config(2)).unwrap();
+    engine.push(&stream_points(1, 5)[0]).unwrap();
+    let mut cut = Vec::new();
+    for _ in 0..4 {
+        cut.extend(engine.tick().unwrap());
+    }
+    assert_eq!(cut.len(), 1, "the 4-tick deadline must cut the straggler");
+    assert_eq!(cut[0].points, 1);
+    assert_eq!(engine.counters().deadline_cuts, 1);
+}
+
+#[test]
+fn feature_length_errors_are_reported_not_buffered() {
+    let mut engine = StreamEngine::new(encoder(64), config(2)).unwrap();
+    let err = engine.push(&[1.0; FEATURES + 1]).unwrap_err();
+    assert!(matches!(err, StreamError::FeatureLength { expected, got }
+        if expected == FEATURES && got == FEATURES + 1));
+    assert_eq!(engine.pending(), 0);
+    assert_eq!(engine.counters().ingested, 0);
+}
+
+/// The `iot_sensor_pipeline` example's deployment run, as a pinned
+/// smoke test: the engine must track exactly `k` clusters with every
+/// sub-centroid slot seeded, and lose nothing under `Block`.
+#[test]
+fn iot_example_scenario_tracks_exactly_k_clusters() {
+    const K: usize = 6;
+    let enc = HdMapper::builder(1024, 16)
+        .seed(7)
+        .sigma(6.0)
+        .build()
+        .unwrap();
+    let mut cfg = StreamConfig::new(K);
+    cfg.capacity = 192;
+    cfg.max_batch = 128;
+    cfg.max_ticks = 4;
+    cfg.centroids_per_cluster = 2;
+    cfg.decay = 0.9;
+    let mut engine = StreamEngine::new(enc, cfg).unwrap();
+
+    let mut spec = DriftSpec::new(16, K);
+    spec.drift_rate = 2e-3;
+    for (i, (point, _)) in spec.stream(42).take(2_000).enumerate() {
+        engine.push(&point).unwrap();
+        if (i + 1) % 64 == 0 {
+            engine.tick().unwrap();
+        }
+    }
+    engine.drain().unwrap();
+
+    let snap = engine.snapshot();
+    assert_eq!(snap.clusters.len(), K, "exactly k clusters in the snapshot");
+    assert_eq!(
+        snap.clusters.iter().map(Vec::len).sum::<usize>(),
+        2 * K,
+        "all sub-centroid slots seeded"
+    );
+    assert_eq!(snap.points, 2_000);
+    assert_eq!(snap.pending, 0);
+    assert!(snap.energy_pj > 0.0);
+    // Distinct regimes produce distinct centers.
+    let flat: Vec<_> = snap.clusters.iter().flatten().collect();
+    assert!(
+        flat.iter()
+            .enumerate()
+            .any(|(i, a)| flat.iter().skip(i + 1).any(|b| a != b)),
+        "centers must not all collapse"
+    );
+}
