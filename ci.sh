@@ -24,9 +24,14 @@ cargo fmt --all --check
 echo "==> dual-lint check (static-analysis gate, see DESIGN.md)"
 cargo run -q -p dual-lint --release -- check --json
 
-echo "==> stream_throughput smoke (regenerates results/stream_throughput.json)"
-cargo run -q -p dual-bench --release --bin stream_throughput
+echo "==> stream_throughput smoke (regenerates results/stream_throughput.json + results/obs_snapshot.json)"
+cargo run -q -p dual-bench --release --bin stream_throughput -- --metrics-out results/obs_snapshot.json
 git diff --exit-code -- results/stream_throughput.json \
   || { echo "stream_throughput.json drifted: the report must be byte-stable"; exit 1; }
+git diff --exit-code -- results/obs_snapshot.json \
+  || { echo "obs_snapshot.json drifted: the dual-obs stable snapshot must be byte-stable"; exit 1; }
+
+echo "==> dual-obs overhead smoke (instrumented hot paths must stay within tolerance)"
+cargo run -q -p dual-bench --release --bin obs_overhead
 
 echo "CI OK"

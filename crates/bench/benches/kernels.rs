@@ -178,6 +178,26 @@ fn bench_parallel_pairs(c: &mut Criterion) {
     });
 }
 
+/// No-op-vs-live `dual-obs` pair: the same k-means fit once with the
+/// global registry uninstalled (every metrics site is a branch-on-null
+/// no-op) and once recording into a live local [`dual_obs::Registry`].
+/// The two bars should be indistinguishable — the CI-enforced bound is
+/// the `obs_overhead` binary; this pair keeps the comparison visible
+/// in the criterion reports.
+fn bench_obs_pair(c: &mut Criterion) {
+    let pts: Vec<Vec<f64>> = (0..2000)
+        .map(|i| vec![(i % 37) as f64, (i % 11) as f64, (i % 5) as f64])
+        .collect();
+    let km = KMeans::new(8).expect("k > 0").max_iters(5).threads(1);
+    c.bench_function("kmeans_2000pts_obs_noop", |bench| {
+        bench.iter(|| std::hint::black_box(km.fit(&pts).expect("n >= k")))
+    });
+    let registry = dual_obs::Registry::new();
+    c.bench_function("kmeans_2000pts_obs_recorded", |bench| {
+        bench.iter(|| std::hint::black_box(km.fit_recorded(&pts, &registry).expect("n >= k")))
+    });
+}
+
 criterion_group!(
     benches,
     bench_hamming,
@@ -188,6 +208,7 @@ criterion_group!(
     bench_pipeline_sim,
     bench_cam_search,
     bench_linkage,
-    bench_parallel_pairs
+    bench_parallel_pairs,
+    bench_obs_pair
 );
 criterion_main!(benches);

@@ -34,6 +34,9 @@ struct PolicyRun {
     snapshot: StreamSnapshot,
     costs: Vec<StreamBatchCost>,
     points_per_sec: f64,
+    /// Byte-stable `dual-obs` export of the engine's private registry
+    /// (stable keys only — no wall-clock, no thread-variant counters).
+    obs_json: String,
 }
 
 fn run_policy(policy: BackpressurePolicy, points: usize) -> PolicyRun {
@@ -71,7 +74,25 @@ fn run_policy(policy: BackpressurePolicy, points: usize) -> PolicyRun {
         snapshot: engine.snapshot(),
         costs,
         points_per_sec: points as f64 / elapsed.max(1e-9),
+        obs_json: engine.obs_registry().stable_snapshot().to_json(),
     }
+}
+
+/// The `--metrics-out` payload: one stable registry snapshot per
+/// backpressure policy, in run order. Every field is deterministic
+/// (`stable_snapshot` drops the thread- and wall-clock-variant keys),
+/// so the file is byte-identical across machines, reruns, and
+/// `DUAL_THREADS` settings — CI diffs it against the committed
+/// `results/obs_snapshot.json`.
+fn metrics_json(runs: &[PolicyRun]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"version\": 1,");
+    for (i, run) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(out, "  \"{}\": {}{comma}", run.policy.name(), run.obs_json);
+    }
+    out.push_str("}\n");
+    out
 }
 
 /// Hand-serialized report in the workspace's byte-stable JSON idiom:
@@ -123,10 +144,17 @@ fn to_json(points: usize, runs: &[PolicyRun]) -> String {
 }
 
 fn main() {
-    let points: usize = std::env::args()
-        .nth(1)
-        .map(|a| a.parse().expect("POINTS must be a positive integer"))
-        .unwrap_or(DEFAULT_POINTS);
+    // CLI: [POINTS] [--metrics-out <path>] in any order.
+    let mut points = DEFAULT_POINTS;
+    let mut metrics_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--metrics-out" {
+            metrics_out = Some(args.next().expect("--metrics-out requires a path"));
+        } else {
+            points = arg.parse().expect("POINTS must be a positive integer");
+        }
+    }
     assert!(points > 0, "POINTS must be positive");
 
     println!(
@@ -186,4 +214,9 @@ fn main() {
     let json = to_json(points, &runs);
     std::fs::write("results/stream_throughput.json", &json).expect("writable results/");
     println!("\nreport written to results/stream_throughput.json (deterministic fields only)");
+
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, metrics_json(&runs)).expect("writable --metrics-out path");
+        println!("obs snapshot written to {path} (stable keys only)");
+    }
 }

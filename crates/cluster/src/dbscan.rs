@@ -4,6 +4,7 @@
 //! Algorithm 1).
 
 use crate::ClusterError;
+use dual_obs::{Key, Obs};
 use serde::{Deserialize, Serialize};
 
 /// Label value assigned to noise points by [`Dbscan`].
@@ -59,17 +60,42 @@ impl Dbscan {
     }
 
     /// Run DBSCAN with pairwise distances from `dist`.
-    pub fn fit<P, F>(&self, points: &[P], mut dist: F) -> DbscanResult
+    pub fn fit<P, F>(&self, points: &[P], dist: F) -> DbscanResult
+    where
+        F: FnMut(&P, &P) -> f64,
+    {
+        self.fit_obs(points, dist, Obs::global())
+    }
+
+    /// [`Dbscan::fit`] recording its metrics (region queries, core
+    /// points, fit span) into a caller-owned registry.
+    pub fn fit_recorded<P, F>(
+        &self,
+        points: &[P],
+        dist: F,
+        registry: &dual_obs::Registry,
+    ) -> DbscanResult
+    where
+        F: FnMut(&P, &P) -> f64,
+    {
+        self.fit_obs(points, dist, Obs::local(registry))
+    }
+
+    fn fit_obs<P, F>(&self, points: &[P], mut dist: F, obs: Obs<'_>) -> DbscanResult
     where
         F: FnMut(&P, &P) -> f64,
     {
         let n = points.len();
         let eps = self.eps;
-        self.expand(n, |i| {
-            (0..n)
-                .filter(|&j| j != i && dist(&points[i], &points[j]) <= eps)
-                .collect()
-        })
+        self.expand(
+            n,
+            |i| {
+                (0..n)
+                    .filter(|&j| j != i && dist(&points[i], &points[j]) <= eps)
+                    .collect()
+            },
+            obs,
+        )
     }
 
     /// Run DBSCAN with per-point neighbor lists built in parallel.
@@ -83,6 +109,35 @@ impl Dbscan {
     /// [`Dbscan::fit`] for every thread count (`0` = auto /
     /// `DUAL_THREADS`).
     pub fn fit_parallel<P, F>(&self, points: &[P], threads: usize, dist: F) -> DbscanResult
+    where
+        P: Sync,
+        F: Fn(&P, &P) -> f64 + Sync,
+    {
+        self.fit_parallel_obs(points, threads, dist, Obs::global())
+    }
+
+    /// [`Dbscan::fit_parallel`] recording into a caller-owned registry.
+    pub fn fit_parallel_recorded<P, F>(
+        &self,
+        points: &[P],
+        threads: usize,
+        dist: F,
+        registry: &dual_obs::Registry,
+    ) -> DbscanResult
+    where
+        P: Sync,
+        F: Fn(&P, &P) -> f64 + Sync,
+    {
+        self.fit_parallel_obs(points, threads, dist, Obs::local(registry))
+    }
+
+    fn fit_parallel_obs<P, F>(
+        &self,
+        points: &[P],
+        threads: usize,
+        dist: F,
+        obs: Obs<'_>,
+    ) -> DbscanResult
     where
         P: Sync,
         F: Fn(&P, &P) -> f64 + Sync,
@@ -102,15 +157,22 @@ impl Dbscan {
                     })
                     .collect()
             });
-        self.expand(n, |i| neighbors[i].clone())
+        self.expand(n, |i| neighbors[i].clone(), obs)
     }
 
     /// Shared cluster-expansion BFS: `region(i)` must return `i`'s
     /// `eps`-neighborhood in ascending index order.
-    fn expand<F>(&self, n: usize, mut region: F) -> DbscanResult
+    ///
+    /// Instrumentation note: region queries are counted here — once per
+    /// BFS lookup — not at neighbor-list *construction*, so the counter
+    /// value is identical between [`Dbscan::fit`] (lazy queries) and
+    /// [`Dbscan::fit_parallel`] (precomputed lists) for every thread
+    /// count.
+    fn expand<F>(&self, n: usize, mut region: F, obs: Obs<'_>) -> DbscanResult
     where
         F: FnMut(usize) -> Vec<usize>,
     {
+        let _span = obs.span(Key::SpanDbscanFit);
         let mut labels = vec![NOISE; n];
         let mut visited = vec![false; n];
         let mut n_clusters = 0usize;
@@ -119,10 +181,13 @@ impl Dbscan {
                 continue;
             }
             visited[i] = true;
+            obs.add(Key::DbscanRegionQueries, 1);
+            obs.tick(1);
             let mut neighbors = region(i);
             if neighbors.len() + 1 < self.min_pts {
                 continue; // noise (may be adopted as border later)
             }
+            obs.add(Key::DbscanCorePoints, 1);
             let cluster = n_clusters;
             n_clusters += 1;
             labels[i] = cluster;
@@ -135,8 +200,11 @@ impl Dbscan {
                     continue;
                 }
                 visited[j] = true;
+                obs.add(Key::DbscanRegionQueries, 1);
+                obs.tick(1);
                 neighbors = region(j);
                 if neighbors.len() + 1 >= self.min_pts {
+                    obs.add(Key::DbscanCorePoints, 1);
                     for &k in &neighbors {
                         if !visited[k] || labels[k] == NOISE {
                             q.push_back(k);

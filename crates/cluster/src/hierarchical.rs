@@ -9,6 +9,7 @@
 //! `O(n³)` scan the hardware happily parallelizes.
 
 use crate::{CondensedMatrix, Linkage};
+use dual_obs::{Key, Obs};
 use serde::{Deserialize, Serialize};
 
 /// One merge step of the dendrogram, in scikit-learn/scipy convention:
@@ -181,6 +182,19 @@ impl AgglomerativeClustering {
         Self::fit_precomputed_weighted(matrix, None, linkage)
     }
 
+    /// [`AgglomerativeClustering::fit_precomputed`] recording metrics
+    /// (`cluster.hier.merge_steps`, the `span.hier_fit` histogram) into
+    /// an explicit [`dual_obs::Registry`] instead of the process-global
+    /// one — the deterministic-testing entry point.
+    #[must_use]
+    pub fn fit_precomputed_recorded(
+        matrix: &CondensedMatrix,
+        linkage: Linkage,
+        registry: &dual_obs::Registry,
+    ) -> Self {
+        Self::fit_weighted_obs(matrix, None, linkage, Obs::local(registry))
+    }
+
     /// Cluster from a precomputed pairwise matrix where item `i` stands
     /// for `weights[i]` original points — the second stage of a
     /// partitioned run, where each item is a representative of a local
@@ -201,6 +215,22 @@ impl AgglomerativeClustering {
         weights: Option<&[usize]>,
         linkage: Linkage,
     ) -> Self {
+        Self::fit_weighted_obs(matrix, weights, linkage, Obs::global())
+    }
+
+    /// Shared agglomeration loop behind every `fit_*` entry point,
+    /// parameterised over the metrics context. Each accepted merge bumps
+    /// `cluster.hier.merge_steps` and advances the logical clock by one
+    /// tick; the whole run is timed (in ticks) into the `span.hier_fit`
+    /// histogram. The recording sites are outside the O(n) inner scans,
+    /// so instrumentation cost is one branch per merge.
+    fn fit_weighted_obs(
+        matrix: &CondensedMatrix,
+        weights: Option<&[usize]>,
+        linkage: Linkage,
+        obs: Obs<'_>,
+    ) -> Self {
+        let _span = obs.span(Key::SpanHierFit);
         let n = matrix.n();
         let init_sizes: Vec<f64> = match weights {
             Some(w) => {
@@ -245,6 +275,8 @@ impl AgglomerativeClustering {
             let j = nn[i];
             debug_assert!(active[i] && active[j] && i != j);
             // Record the merge and retire slot j into slot i.
+            obs.add(Key::HierMergeSteps, 1);
+            obs.tick(1);
             merges.push(Merge {
                 left: ids[i],
                 right: ids[j],

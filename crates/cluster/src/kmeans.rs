@@ -3,6 +3,7 @@
 
 use crate::{squared_euclidean, CentroidAccumulator, ClusterError};
 use dual_hdc::Hypervector;
+use dual_obs::{Key, Obs};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -95,6 +96,27 @@ impl KMeans {
     /// Returns [`ClusterError::TooFewPoints`] when fewer than `k` points
     /// are supplied.
     pub fn fit(&self, points: &[Vec<f64>]) -> Result<KMeansResult, ClusterError> {
+        self.fit_with(points, Obs::global())
+    }
+
+    /// [`KMeans::fit`] recording its metrics (iterations,
+    /// reassignments, fit span) into a caller-owned registry instead of
+    /// the process-global recorder — the isolation the byte-stability
+    /// tests rely on.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`KMeans::fit`].
+    pub fn fit_recorded(
+        &self,
+        points: &[Vec<f64>],
+        registry: &dual_obs::Registry,
+    ) -> Result<KMeansResult, ClusterError> {
+        self.fit_with(points, Obs::local(registry))
+    }
+
+    fn fit_with(&self, points: &[Vec<f64>], obs: Obs<'_>) -> Result<KMeansResult, ClusterError> {
+        let _span = obs.span(Key::SpanKmeansFit);
         let n = points.len();
         if n < self.k {
             return Err(ClusterError::TooFewPoints {
@@ -109,10 +131,21 @@ impl KMeans {
         let mut iterations = 0;
         for iter in 0..self.max_iters.max(1) {
             iterations = iter + 1;
+            obs.add(Key::KmeansIterations, 1);
+            obs.tick(1);
             // Assignment step: per-point independent, so parallel chunks
             // write disjoint label slices and the result cannot depend on
             // the thread count.
+            let prev = if obs.enabled() {
+                labels.clone()
+            } else {
+                Vec::new()
+            };
             assign_labels(points, &centers, &mut labels, self.threads);
+            if obs.enabled() {
+                let changed = prev.iter().zip(&labels).filter(|(a, b)| a != b).count();
+                obs.add(Key::KmeansReassignments, changed as u64);
+            }
             // Update step: per-fixed-block partial (sums, counts) folded
             // in block order — the float summation order is a function of
             // `n` alone, never of the thread count.
@@ -327,6 +360,29 @@ impl HammingKMeans {
     /// Returns [`ClusterError::TooFewPoints`] when fewer than `k` points
     /// are supplied.
     pub fn fit(&self, points: &[Hypervector]) -> Result<HammingKMeansResult, ClusterError> {
+        self.fit_with(points, Obs::global())
+    }
+
+    /// [`HammingKMeans::fit`] recording into a caller-owned registry —
+    /// see [`KMeans::fit_recorded`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HammingKMeans::fit`].
+    pub fn fit_recorded(
+        &self,
+        points: &[Hypervector],
+        registry: &dual_obs::Registry,
+    ) -> Result<HammingKMeansResult, ClusterError> {
+        self.fit_with(points, Obs::local(registry))
+    }
+
+    fn fit_with(
+        &self,
+        points: &[Hypervector],
+        obs: Obs<'_>,
+    ) -> Result<HammingKMeansResult, ClusterError> {
+        let _span = obs.span(Key::SpanKmeansFit);
         let n = points.len();
         if n < self.k {
             return Err(ClusterError::TooFewPoints {
@@ -369,11 +425,21 @@ impl HammingKMeans {
         let mut iterations = 0;
         for iter in 0..self.max_iters.max(1) {
             iterations = iter + 1;
+            obs.add(Key::KmeansIterations, 1);
+            obs.tick(1);
             // One shared Lloyd step: nearest-centroid assignment plus
             // per-cluster majority re-binarization. The same function
             // drives the streaming engine's decay=1.0 batch case, which
             // is what makes the two paths provably equivalent.
             let (step_labels, votes) = hamming_lloyd_step(points, &centers, self.threads);
+            if obs.enabled() {
+                let changed = labels
+                    .iter()
+                    .zip(&step_labels)
+                    .filter(|(a, b)| a != b)
+                    .count();
+                obs.add(Key::KmeansReassignments, changed as u64);
+            }
             labels = step_labels;
             let mut flips = 0usize;
             for (c, vote) in votes.into_iter().enumerate() {

@@ -58,17 +58,27 @@ pub enum Phase {
 }
 
 impl Phase {
-    /// Display name.
+    /// The phase's [`dual_obs::Stage`] — the shared label vocabulary
+    /// every layer exports metrics under. `Phase` stays a distinct
+    /// (serde-derived) type because it appears in persisted results
+    /// files, but its *names* are owned by `dual_obs` now.
+    #[must_use]
+    pub fn stage(self) -> dual_obs::Stage {
+        match self {
+            Self::Encoding => dual_obs::Stage::Encoding,
+            Self::Hamming => dual_obs::Stage::Hamming,
+            Self::Accumulate => dual_obs::Stage::Accumulate,
+            Self::Nearest => dual_obs::Stage::Nearest,
+            Self::Update => dual_obs::Stage::Update,
+            Self::Transfer => dual_obs::Stage::Transfer,
+        }
+    }
+
+    /// Display name (delegates to the shared [`dual_obs::Stage`]
+    /// vocabulary so every exported artifact agrees on phase names).
     #[must_use]
     pub fn name(self) -> &'static str {
-        match self {
-            Self::Encoding => "encoding",
-            Self::Hamming => "hamming",
-            Self::Accumulate => "accumulate",
-            Self::Nearest => "nearest",
-            Self::Update => "update",
-            Self::Transfer => "transfer",
-        }
+        self.stage().name()
     }
 }
 
@@ -121,6 +131,28 @@ impl PhaseReport {
     pub fn preceded_by(mut self, mut other: Self) -> Self {
         other.phases.append(&mut self.phases);
         other
+    }
+
+    /// Export this report into the observability gauges: per-stage
+    /// modeled latency (`phase.<stage>.time_ns`) and energy
+    /// (`phase.<stage>.energy_pj`). Repeated phases accumulate before
+    /// the (last-write-wins) gauges are set, so the export is
+    /// independent of how the report was composed.
+    pub fn record_gauges(&self, obs: dual_obs::Obs<'_>) {
+        if !obs.enabled() {
+            return;
+        }
+        let mut time = [0.0f64; dual_obs::Stage::ALL.len()];
+        let mut energy = [0.0f64; dual_obs::Stage::ALL.len()];
+        for (phase, stats) in &self.phases {
+            let i = phase.stage().index();
+            time[i] += stats.time_ns();
+            energy[i] += stats.energy_pj();
+        }
+        for stage in dual_obs::Stage::ALL {
+            obs.gauge(dual_obs::Key::PhaseTimeNs(stage), time[stage.index()]);
+            obs.gauge(dual_obs::Key::PhaseEnergyPj(stage), energy[stage.index()]);
+        }
     }
 }
 
@@ -530,6 +562,43 @@ mod tests {
 
     fn model() -> PerfModel {
         PerfModel::new(DualConfig::paper())
+    }
+
+    #[test]
+    fn record_gauges_exports_accumulated_phase_totals() {
+        let report = model()
+            .kmeans(5_000, 8)
+            .preceded_by(model().encoding(5_000, 32));
+        let registry = dual_obs::Registry::new();
+        report.record_gauges(dual_obs::Obs::local(&registry));
+        // Composition-independent: the gauges hold accumulated totals,
+        // matching the report's own per-phase sums exactly.
+        for stage in dual_obs::Stage::ALL {
+            let phase = [
+                Phase::Encoding,
+                Phase::Hamming,
+                Phase::Accumulate,
+                Phase::Nearest,
+                Phase::Update,
+                Phase::Transfer,
+            ]
+            .into_iter()
+            .find(|p| p.stage() == stage)
+            .expect("every stage has a phase");
+            let want_ns = report.time_s() * report.phase_fraction(phase) * 1e9;
+            let got_ns = registry.gauge_value(dual_obs::Key::PhaseTimeNs(stage));
+            assert!(
+                (got_ns - want_ns).abs() <= want_ns.abs() * 1e-9 + 1e-9,
+                "{stage:?}: {got_ns} vs {want_ns}"
+            );
+        }
+        // Disabled context records nothing.
+        let empty = dual_obs::Registry::new();
+        report.record_gauges(dual_obs::Obs::OFF);
+        assert_eq!(
+            empty.gauge_value(dual_obs::Key::PhaseTimeNs(dual_obs::Stage::Encoding)),
+            0.0
+        );
     }
 
     #[test]

@@ -224,6 +224,10 @@ impl Encoder for HdMapper {
     fn encode(&self, features: &[f64]) -> Result<Hypervector, HdcError> {
         let projected = self.project(features)?;
         let bits: BitVec = projected.iter().map(|&h| h > 0.0).collect();
+        // Counted here (not in `encode_batch`, which delegates) so
+        // every successfully encoded hypervector is counted exactly
+        // once regardless of the entry point.
+        dual_obs::Obs::global().add(dual_obs::Key::HdcEncoded, 1);
         Ok(Hypervector::from_bitvec(bits))
     }
 }

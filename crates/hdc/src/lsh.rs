@@ -93,6 +93,7 @@ impl Encoder for LshEncoder {
                 dot > 0.0
             })
             .collect();
+        dual_obs::Obs::global().add(dual_obs::Key::HdcEncoded, 1);
         Ok(Hypervector::from_bitvec(bits))
     }
 }

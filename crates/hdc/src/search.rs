@@ -21,6 +21,74 @@
 //!   `(distance, index)` total order [`top_k`] sorts by.
 
 use crate::Hypervector;
+use dual_obs::{Key, Obs};
+
+/// Record one batch of Hamming scans against the process-global
+/// recorder: `queries` search queries, each sweeping `candidates`
+/// candidates of `dim` bits (`⌈dim/64⌉` packed popcount words per
+/// candidate). Recorded once per *public* call — never per chunk — so
+/// the counters are invariant across thread counts.
+fn note_scan(queries: usize, candidates: usize, dim: usize) {
+    let obs = Obs::global();
+    if !obs.enabled() {
+        return;
+    }
+    obs.add(Key::HdcSearchQueries, queries as u64);
+    obs.add(
+        Key::HdcPopcountWords,
+        (queries as u64) * (candidates as u64) * (dim.div_ceil(64) as u64),
+    );
+}
+
+/// The raw serial scan behind [`nearest`]: no instrumentation, so the
+/// parallel wrappers can reuse it per chunk without inflating the
+/// query counters.
+fn scan_nearest(query: &Hypervector, candidates: &[Hypervector]) -> Option<(usize, usize)> {
+    let mut best: Option<(usize, usize)> = None;
+    for (i, c) in candidates.iter().enumerate() {
+        let d = query.hamming(c);
+        if best.is_none_or(|(_, bd)| d < bd) {
+            best = Some((i, d));
+        }
+    }
+    best
+}
+
+/// The raw bounded top-`k` selection behind [`top_k`]: a sorted vector
+/// of the `k` smallest `(distance, index)` pairs maintained by binary
+/// insertion. Exactly equivalent to sorting the full ranking by
+/// `(distance, index)` and truncating to `k` — the bounded structure
+/// just does it in `O(n log k)` — and it counts its insertions into
+/// the (unstable) `hdc.search.topk_pushes` counter. `offset` shifts
+/// the reported indices so chunked scans report global positions.
+fn top_k_scan(
+    query: &Hypervector,
+    candidates: &[Hypervector],
+    k: usize,
+    offset: usize,
+) -> Vec<(usize, usize)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut best: Vec<(usize, usize)> = Vec::with_capacity(k.min(candidates.len()));
+    let mut pushes = 0u64;
+    for (i, c) in candidates.iter().enumerate() {
+        let entry = (query.hamming(c), offset + i);
+        if best.len() == k {
+            match best.last() {
+                Some(&worst) if entry < worst => {
+                    best.pop();
+                }
+                _ => continue,
+            }
+        }
+        let pos = best.partition_point(|&e| e < entry);
+        best.insert(pos, entry);
+        pushes += 1;
+    }
+    Obs::global().add(Key::HdcTopKPushes, pushes);
+    best.into_iter().map(|(d, i)| (i, d)).collect()
+}
 
 /// Index and Hamming distance of the candidate nearest to `query`,
 /// scanning serially; ties break toward the lowest index. Returns
@@ -41,14 +109,8 @@ use crate::Hypervector;
 /// ```
 #[must_use]
 pub fn nearest(query: &Hypervector, candidates: &[Hypervector]) -> Option<(usize, usize)> {
-    let mut best: Option<(usize, usize)> = None;
-    for (i, c) in candidates.iter().enumerate() {
-        let d = query.hamming(c);
-        if best.is_none_or(|(_, bd)| d < bd) {
-            best = Some((i, d));
-        }
-    }
-    best
+    note_scan(1, candidates.len(), query.dim());
+    scan_nearest(query, candidates)
 }
 
 /// Parallel [`nearest`]: candidates are scanned in contiguous chunks by
@@ -60,13 +122,13 @@ pub fn nearest_parallel(
     candidates: &[Hypervector],
     threads: usize,
 ) -> Option<(usize, usize)> {
-    let chunk_best =
-        dual_pool::par_map_chunks(candidates, threads, |offset, chunk| {
-            match nearest(query, chunk) {
-                Some((i, d)) => vec![(offset + i, d)],
-                None => Vec::new(),
-            }
-        });
+    note_scan(1, candidates.len(), query.dim());
+    let chunk_best = dual_pool::par_map_chunks(candidates, threads, |offset, chunk| {
+        match scan_nearest(query, chunk) {
+            Some((i, d)) => vec![(offset + i, d)],
+            None => Vec::new(),
+        }
+    });
     let mut best: Option<(usize, usize)> = None;
     for (i, d) in chunk_best {
         if best.is_none_or(|(_, bd)| d < bd) {
@@ -95,14 +157,8 @@ pub fn nearest_parallel(
 /// ```
 #[must_use]
 pub fn top_k(query: &Hypervector, candidates: &[Hypervector], k: usize) -> Vec<(usize, usize)> {
-    let mut all: Vec<(usize, usize)> = candidates
-        .iter()
-        .enumerate()
-        .map(|(i, c)| (i, query.hamming(c)))
-        .collect();
-    all.sort_by_key(|&(i, d)| (d, i));
-    all.truncate(k);
-    all
+    note_scan(1, candidates.len(), query.dim());
+    top_k_scan(query, candidates, k, 0)
 }
 
 /// Parallel [`top_k`]: per-chunk top-`k` lists merged under the same
@@ -115,12 +171,10 @@ pub fn top_k_parallel(
     k: usize,
     threads: usize,
 ) -> Vec<(usize, usize)> {
+    note_scan(1, candidates.len(), query.dim());
     let mut merged: Vec<(usize, usize)> =
         dual_pool::par_map_chunks(candidates, threads, |offset, chunk| {
-            top_k(query, chunk, k)
-                .into_iter()
-                .map(|(i, d)| (offset + i, d))
-                .collect()
+            top_k_scan(query, chunk, k, offset)
         });
     merged.sort_by_key(|&(i, d)| (d, i));
     merged.truncate(k);
@@ -161,12 +215,16 @@ pub fn assign_batch(
         !centroids.is_empty(),
         "assign_batch requires at least one centroid"
     );
+    if let Some(first) = queries.first() {
+        note_scan(queries.len(), centroids.len(), first.dim());
+    }
     let mut out = vec![(0usize, 0usize); queries.len()];
     dual_pool::par_fill(&mut out, threads, |offset, slots| {
         for (slot, q) in slots.iter_mut().zip(&queries[offset..]) {
-            // `centroids` is non-empty, so `nearest` always finds one;
-            // the fallback keeps the closure total without panicking.
-            *slot = nearest(q, centroids).unwrap_or((0, 0));
+            // `centroids` is non-empty, so `scan_nearest` always finds
+            // one; the fallback keeps the closure total without
+            // panicking.
+            *slot = scan_nearest(q, centroids).unwrap_or((0, 0));
         }
     });
     out

@@ -127,7 +127,7 @@ pub struct RuleConfig {
 impl Default for RuleConfig {
     fn default() -> Self {
         Self {
-            result_crates: ["pim", "cluster", "core", "hdc", "stream"]
+            result_crates: ["pim", "cluster", "core", "hdc", "stream", "obs"]
                 .iter()
                 .map(ToString::to_string)
                 .collect(),

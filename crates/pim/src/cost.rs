@@ -67,6 +67,27 @@ pub enum Op {
     },
 }
 
+impl Op {
+    /// The operation's [`dual_obs::OpFamily`] — its bit-width-erased
+    /// label in the shared observability vocabulary. This is the single
+    /// mapping from `dual_pim`'s op names onto exported metric names,
+    /// so the `pim.op.<family>.issues` gauges agree with the rest of
+    /// the workspace.
+    #[must_use]
+    pub fn family(self) -> dual_obs::OpFamily {
+        match self {
+            Self::HammingWindow => dual_obs::OpFamily::HammingWindow,
+            Self::NearestStage => dual_obs::OpFamily::NearestStage,
+            Self::Add { .. } => dual_obs::OpFamily::Add,
+            Self::Sub { .. } => dual_obs::OpFamily::Sub,
+            Self::Mul { .. } => dual_obs::OpFamily::Mul,
+            Self::Div { .. } => dual_obs::OpFamily::Div,
+            Self::Transfer { .. } => dual_obs::OpFamily::Transfer,
+            Self::Write { .. } => dual_obs::OpFamily::Write,
+        }
+    }
+}
+
 /// Table III anchor constants (28 nm, 1k-row block).
 mod anchor {
     /// Hamming 7-bit window energy, femtojoules.

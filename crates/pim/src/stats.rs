@@ -69,6 +69,14 @@ impl EnergyStats {
         self.counts.get(&op).copied().unwrap_or(0)
     }
 
+    /// Every recorded `(op, issue count)` pair in `Op` order (the
+    /// backing map is a `BTreeMap`, so iteration order is stable).
+    /// The observability bridge folds these through [`Op::family`]
+    /// into the `pim.op.<family>.issues` gauges.
+    pub fn counts(&self) -> impl Iterator<Item = (Op, u64)> + '_ {
+        self.counts.iter().map(|(&op, &c)| (op, c))
+    }
+
     /// Record one serial operation.
     pub fn record(&mut self, model: &CostModel, op: Op) {
         self.record_parallel(model, op, 1);

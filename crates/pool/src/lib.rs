@@ -52,7 +52,19 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 #![warn(missing_docs)]
 
+use dual_obs::{Key, Obs};
 use std::ops::Range;
+
+/// Record one parallel-section entry (`pool.sections` + `pool.items`)
+/// against the process-global recorder. `items` is the logical work
+/// size, which is independent of the thread count — these counters
+/// stay byte-stable across `DUAL_THREADS`. (Per-task spawn counts are
+/// recorded separately under the *unstable* `pool.tasks_spawned` key.)
+fn note_section(items: usize) {
+    let obs = Obs::global();
+    obs.add(Key::PoolSections, 1);
+    obs.add(Key::PoolItems, items as u64);
+}
 
 /// Environment variable overriding the auto-detected thread count.
 pub const DUAL_THREADS_ENV: &str = "DUAL_THREADS";
@@ -146,6 +158,7 @@ where
     R: Send,
     F: Fn(Range<usize>) -> R + Sync,
 {
+    note_section(len);
     let ranges = chunk_ranges(len, threads);
     run_ordered(ranges, &f)
 }
@@ -170,6 +183,7 @@ where
     R: Send,
     F: Fn(usize, &[T]) -> Vec<R> + Sync,
 {
+    note_section(items.len());
     let ranges = chunk_ranges(items.len(), threads);
     let parts = run_ordered(ranges, &|r: Range<usize>| f(r.start, &items[r.clone()]));
     let mut out = Vec::with_capacity(items.len());
@@ -204,6 +218,7 @@ where
     R: Send,
     F: Fn(Range<usize>) -> R + Sync,
 {
+    note_section(ranges.iter().map(ExactSizeIterator::len).sum());
     let threads = resolve_threads(threads).min(ranges.len()).max(1);
     if threads <= 1 || ranges.len() <= 1 {
         return ranges.into_iter().map(f).collect();
@@ -226,11 +241,13 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    note_section(out.len());
     let ranges = chunk_ranges(out.len(), threads);
     match ranges.len() {
         0 => {}
         1 => f(0, out),
         _ => {
+            Obs::global().add(Key::PoolTasks, ranges.len() as u64);
             std::thread::scope(|scope| {
                 let mut rest = out;
                 let mut consumed = 0usize;
@@ -261,6 +278,7 @@ where
         0 => Vec::new(),
         1 => ranges.into_iter().map(f).collect(),
         _ => std::thread::scope(|scope| {
+            Obs::global().add(Key::PoolTasks, ranges.len() as u64);
             let handles: Vec<_> = ranges
                 .into_iter()
                 .map(|r| scope.spawn(move || f(r)))

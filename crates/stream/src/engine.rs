@@ -16,6 +16,7 @@ use crate::error::StreamError;
 use crate::online::OnlineKMeans;
 use crate::ring::{BackpressurePolicy, PushOutcome, Ring};
 use dual_hdc::{Encoder, Hypervector};
+use dual_obs::{Key, Registry};
 use dual_pim::{CostModel, Op, StreamBatchCost, StreamMeter};
 use serde::{Deserialize, Serialize};
 
@@ -110,6 +111,13 @@ impl StreamConfig {
 }
 
 /// Per-stage event counters, monotone over the engine's lifetime.
+///
+/// Since the `dual-obs` rebase this is a plain *export* struct: the
+/// engine records every event into its private [`dual_obs::Registry`]
+/// (under the `stream.*` keys) and [`StreamEngine::counters`]
+/// materializes this view on demand. The field set and semantics are
+/// unchanged from the bespoke-counter era, so serialized snapshots
+/// remain compatible.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct StreamCounters {
     /// Points accepted into the ring (all `Accepted*` outcomes).
@@ -170,7 +178,12 @@ pub struct StreamEngine<E> {
     batcher: Batcher,
     model: OnlineKMeans,
     meter: StreamMeter,
-    counters: StreamCounters,
+    /// Engine-private metrics registry: every pipeline event lands here
+    /// under the `stream.*` keys, and the chip-cost gauges (`pim.*`)
+    /// are refreshed after each committed batch. Private so snapshots
+    /// stay deterministic regardless of what else the process records
+    /// into the global registry.
+    obs: Registry,
 }
 
 impl<E: Encoder + Sync> StreamEngine<E> {
@@ -217,7 +230,7 @@ impl<E: Encoder + Sync> StreamEngine<E> {
             batcher: Batcher::new(config.max_batch, config.max_ticks),
             model,
             meter: StreamMeter::new(cost),
-            counters: StreamCounters::default(),
+            obs: Registry::new(),
             config,
         })
     }
@@ -234,10 +247,35 @@ impl<E: Encoder + Sync> StreamEngine<E> {
         &self.encoder
     }
 
-    /// Lifetime event counters.
+    /// Lifetime event counters, materialized from the engine's metrics
+    /// registry (see [`StreamEngine::obs_registry`]).
     #[must_use]
-    pub fn counters(&self) -> &StreamCounters {
-        &self.counters
+    pub fn counters(&self) -> StreamCounters {
+        StreamCounters {
+            ingested: self.obs.counter(Key::StreamIngested),
+            rejected: self.obs.counter(Key::StreamRejected),
+            dropped: self.obs.counter(Key::StreamDropped),
+            inline_flushes: self.obs.counter(Key::StreamInlineFlushes),
+            batches: self.obs.counter(Key::StreamBatches),
+            size_cuts: self.obs.counter(Key::StreamSizeCuts),
+            deadline_cuts: self.obs.counter(Key::StreamDeadlineCuts),
+            drain_cuts: self.obs.counter(Key::StreamDrainCuts),
+            encoded: self.obs.counter(Key::StreamEncoded),
+            assigned: self.obs.counter(Key::StreamAssigned),
+            seeded: self.obs.counter(Key::StreamSeeded),
+            rebinarized: self.obs.counter(Key::StreamRebinarized),
+        }
+    }
+
+    /// The engine-private metrics registry backing
+    /// [`StreamEngine::counters`]: `stream.*` counters, the
+    /// `stream.batch_points` histogram, and the `pim.*` chip-cost
+    /// gauges refreshed after every committed batch. Render it with
+    /// [`dual_obs::Registry::to_prometheus`] or diff its
+    /// [`dual_obs::Registry::stable_snapshot`] across runs.
+    #[must_use]
+    pub fn obs_registry(&self) -> &Registry {
+        &self.obs
     }
 
     /// The per-batch cost meter.
@@ -297,29 +335,29 @@ impl<E: Encoder + Sync> StreamEngine<E> {
         }
         match self.ring.try_push(features.to_vec()) {
             Ok(()) => {
-                self.counters.ingested += 1;
+                self.obs.add(Key::StreamIngested, 1);
                 Ok(PushOutcome::Accepted)
             }
             Err(point) => match self.config.policy {
                 BackpressurePolicy::Block => {
-                    self.counters.inline_flushes += 1;
+                    self.obs.add(Key::StreamInlineFlushes, 1);
                     self.cut_batch(CutReason::Backpressure)?;
                     if let Err(point) = self.ring.try_push(point) {
                         // Unreachable: the inline flush freed at least
                         // one slot. Never lose the point regardless.
                         let _ = self.ring.force_push(point);
                     }
-                    self.counters.ingested += 1;
+                    self.obs.add(Key::StreamIngested, 1);
                     Ok(PushOutcome::AcceptedAfterFlush)
                 }
                 BackpressurePolicy::DropOldest => {
                     let _evicted = self.ring.force_push(point);
-                    self.counters.dropped += 1;
-                    self.counters.ingested += 1;
+                    self.obs.add(Key::StreamDropped, 1);
+                    self.obs.add(Key::StreamIngested, 1);
                     Ok(PushOutcome::AcceptedDroppedOldest)
                 }
                 BackpressurePolicy::Reject => {
-                    self.counters.rejected += 1;
+                    self.obs.add(Key::StreamRejected, 1);
                     Ok(PushOutcome::Rejected)
                 }
             },
@@ -335,6 +373,9 @@ impl<E: Encoder + Sync> StreamEngine<E> {
     /// Propagates encode-stage errors.
     pub fn tick(&mut self) -> Result<Vec<StreamBatchCost>, StreamError> {
         self.batcher.tick();
+        // Keep the registry's logical clock in lockstep with the
+        // batcher so exported snapshots carry stream time.
+        self.obs.tick(1);
         let mut costs = Vec::new();
         while let Some(reason) = self.batcher.due(self.ring.len()) {
             costs.push(self.cut_batch(reason)?);
@@ -366,7 +407,7 @@ impl<E: Encoder + Sync> StreamEngine<E> {
             tick: self.batcher.now(),
             pending: self.ring.len(),
             clusters: self.model.clusters(),
-            counters: self.counters,
+            counters: self.counters(),
             batches: self.meter.batches(),
             points: self.meter.points(),
             time_ns: self.meter.total().time_ns(),
@@ -404,19 +445,43 @@ impl<E: Encoder + Sync> StreamEngine<E> {
         self.charge_assign(n, self.model.seeded());
         self.charge_update(n, as_u64(update.rebinarized));
 
-        self.counters.encoded += n;
-        self.counters.assigned += as_u64(update.assignments.len());
-        self.counters.seeded += as_u64(update.seeded);
-        self.counters.rebinarized += as_u64(update.rebinarized);
-        self.counters.batches += 1;
+        self.obs.add(Key::StreamEncoded, n);
+        self.obs
+            .add(Key::StreamAssigned, as_u64(update.assignments.len()));
+        self.obs.add(Key::StreamSeeded, as_u64(update.seeded));
+        self.obs
+            .add(Key::StreamRebinarized, as_u64(update.rebinarized));
+        self.obs.add(Key::StreamBatches, 1);
+        self.obs.observe(Key::StreamBatchPoints, n);
         match reason {
-            CutReason::Size => self.counters.size_cuts += 1,
-            CutReason::Deadline => self.counters.deadline_cuts += 1,
+            CutReason::Size => self.obs.add(Key::StreamSizeCuts, 1),
+            CutReason::Deadline => self.obs.add(Key::StreamDeadlineCuts, 1),
             CutReason::Backpressure => {} // counted as inline_flushes at push
-            CutReason::Drain => self.counters.drain_cuts += 1,
+            CutReason::Drain => self.obs.add(Key::StreamDrainCuts, 1),
         }
         self.batcher.note_cut();
-        Ok(self.meter.commit_batch(n))
+        let cost = self.meter.commit_batch(n);
+        self.refresh_pim_gauges();
+        Ok(cost)
+    }
+
+    /// Mirror the meter's accumulated chip costs into the registry's
+    /// `pim.*` gauges: total latency/energy plus per-family op-issue
+    /// counts, so a single Prometheus render of
+    /// [`StreamEngine::obs_registry`] carries the DUAL cost attribution
+    /// alongside the pipeline event counters.
+    fn refresh_pim_gauges(&mut self) {
+        let total = self.meter.total();
+        self.obs.gauge(Key::PimTimeNs, total.time_ns());
+        self.obs.gauge(Key::PimEnergyPj, total.energy_pj());
+        let mut per_family = [0u64; dual_obs::OpFamily::ALL.len()];
+        for (op, count) in total.counts() {
+            per_family[op.family().index()] += count;
+        }
+        for family in dual_obs::OpFamily::ALL {
+            self.obs
+                .gauge(Key::PimOpIssues(family), as_f64(per_family[family.index()]));
+        }
     }
 
     /// Charge the HD-Mapper encode pass for `n` points: per point, `m`
@@ -466,6 +531,13 @@ impl<E: Encoder + Sync> StreamEngine<E> {
 /// platform), without a lint-audited `as` cast.
 fn as_u64(x: usize) -> u64 {
     u64::try_from(x).unwrap_or(u64::MAX)
+}
+
+/// `u64 → f64` for gauge export; exact below `2^53`, far beyond any
+/// realistic op-issue count.
+#[allow(clippy::cast_precision_loss)]
+fn as_f64(x: u64) -> f64 {
+    x as f64
 }
 
 #[cfg(test)]

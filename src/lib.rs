@@ -19,6 +19,7 @@
 //! | [`baseline`] | `dual-baseline` | calibrated GPU (GTX 1080) and IMP comparators |
 //! | [`data`] | `dual-data` | Table IV workload generators |
 //! | [`stream`] | `dual-stream` | backpressured streaming-clustering engine |
+//! | [`obs`] | `dual-obs` | deterministic metrics registry + logical-clock tracing |
 //! | [`tsne`] | `dual-tsne` | exact t-SNE for the Fig. 11 visualization |
 //!
 //! ## Quickstart
@@ -52,6 +53,7 @@ pub use dual_core as core;
 pub use dual_data as data;
 pub use dual_hdc as hdc;
 pub use dual_isa as isa;
+pub use dual_obs as obs;
 pub use dual_pim as pim;
 pub use dual_stream as stream;
 pub use dual_tsne as tsne;

@@ -283,3 +283,92 @@ fn pool_primitives_are_thread_count_invariant() {
         assert_eq!(sum, serial_sum, "threads={threads}");
     }
 }
+
+/// The dual-obs determinism contract (DESIGN.md §7): every metric a
+/// kernel records must be invariant under the thread count, so the
+/// byte-stable JSON export of a local registry is a fixed point across
+/// `DUAL_THREADS`-style sweeps. Counters that *are* allowed to vary
+/// (top-k heap pushes, pool task spawns, bench wall-clock) are excluded
+/// from `stable_snapshot` by construction — this test locks the whole
+/// stable surface at once.
+#[test]
+fn obs_stable_snapshots_are_byte_identical_across_thread_counts() {
+    // Lloyd's k-means over euclidean points.
+    let pts = euclid_points(96, 3, 991);
+    let kmeans_json = |threads: usize| {
+        let reg = dual_obs::Registry::new();
+        KMeans::new(4)
+            .expect("k > 0")
+            .max_iters(8)
+            .threads(threads)
+            .fit_recorded(&pts, &reg)
+            .expect("n >= k");
+        reg.stable_snapshot().to_json()
+    };
+    // Binary k-means over hypervectors.
+    let hvs = hypervectors(80, 256, 1234);
+    let hamming_json = |threads: usize| {
+        let reg = dual_obs::Registry::new();
+        HammingKMeans::new(5)
+            .expect("k > 0")
+            .max_iters(8)
+            .threads(threads)
+            .fit_recorded(&hvs, &reg)
+            .expect("n >= k");
+        reg.stable_snapshot().to_json()
+    };
+    // DBSCAN: lazy serial region queries vs precomputed parallel lists.
+    let db = Dbscan::new(3.0, 4).expect("valid params");
+    let dbscan_json = |threads: usize| {
+        let reg = dual_obs::Registry::new();
+        if threads == 1 {
+            db.fit_recorded(&pts, dual_cluster::euclidean, &reg);
+        } else {
+            db.fit_parallel_recorded(&pts, threads, dual_cluster::euclidean, &reg);
+        }
+        reg.stable_snapshot().to_json()
+    };
+    // Streaming engine: full pipeline into its private registry.
+    let stream_json = |threads: usize| {
+        let mapper = dual_hdc::HdMapper::new(128, 3, 7).expect("valid");
+        let mut cfg = dual_stream::StreamConfig::new(3);
+        cfg.threads = threads;
+        cfg.max_batch = 16;
+        cfg.decay = 0.9;
+        let mut engine = dual_stream::StreamEngine::new(mapper, cfg).expect("valid config");
+        for (i, p) in pts.iter().enumerate() {
+            engine.push(p).expect("well-shaped");
+            if i % 10 == 9 {
+                engine.tick().expect("tick");
+            }
+        }
+        engine.drain().expect("drain");
+        engine.obs_registry().stable_snapshot().to_json()
+    };
+
+    let golds = [
+        ("kmeans", kmeans_json(1)),
+        ("hamming_kmeans", hamming_json(1)),
+        ("dbscan", dbscan_json(1)),
+        ("stream", stream_json(1)),
+    ];
+    for &threads in &THREADS {
+        let runs = [
+            ("kmeans", kmeans_json(threads)),
+            ("hamming_kmeans", hamming_json(threads)),
+            ("dbscan", dbscan_json(threads)),
+            ("stream", stream_json(threads)),
+        ];
+        for ((name, gold), (_, got)) in golds.iter().zip(&runs) {
+            assert_eq!(
+                gold, got,
+                "{name} obs snapshot differs at threads={threads}"
+            );
+        }
+        // The export must also carry real signal, not all-zero keys.
+        assert!(
+            runs[0].1.contains("\"cluster.kmeans.iterations\":"),
+            "snapshot must name the kmeans iteration counter"
+        );
+    }
+}

@@ -198,3 +198,67 @@ fn bitvec_strategy_exercises_lengths() {
         tail_is_masked(&v);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// dual-obs histogram invariants (DESIGN.md §7): bucket counts are
+    /// a partition of the observations — they sum to `count`, the
+    /// cumulative form is monotone and ends at `count` — and every
+    /// value lands in the unique power-of-two bucket whose bound
+    /// brackets it.
+    #[test]
+    fn prop_obs_histogram_buckets_partition_the_observations(
+        values in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+    ) {
+        let reg = dual_obs::Registry::new();
+        for &v in &values {
+            reg.observe(dual_obs::Key::StreamBatchPoints, v);
+        }
+        let h = reg.histogram(dual_obs::Key::StreamBatchPoints);
+        prop_assert_eq!(h.count, values.len() as u64);
+        prop_assert_eq!(h.sum, values.iter().sum::<u64>());
+        // Raw buckets partition the total.
+        prop_assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+        // Cumulative form is monotone non-decreasing and exhaustive.
+        let cum = h.cumulative();
+        for w in cum.windows(2) {
+            prop_assert!(w[1] >= w[0], "cumulative must be monotone: {:?}", cum);
+        }
+        prop_assert_eq!(cum[cum.len() - 1], h.count);
+        // Each value falls inside its bucket's half-open range.
+        for &v in &values {
+            let i = dual_obs::bucket_index(v);
+            prop_assert!(i <= dual_obs::HIST_BUCKETS);
+            if i < dual_obs::HIST_BUCKETS {
+                prop_assert!(v <= dual_obs::bucket_bound(i), "v={} bound={}", v, dual_obs::bucket_bound(i));
+            }
+            if i > 0 && i < dual_obs::HIST_BUCKETS {
+                prop_assert!(v > dual_obs::bucket_bound(i - 1));
+            }
+        }
+    }
+
+    /// Sharded counters are order- and thread-insensitive: any
+    /// interleaving of the same multiset of `add`s yields the same
+    /// total, and the JSON export is a pure function of that total.
+    #[test]
+    fn prop_obs_counter_total_is_permutation_invariant(
+        adds in proptest::collection::vec(0u64..1_000, 0..100),
+    ) {
+        let forward = dual_obs::Registry::new();
+        for &a in &adds {
+            forward.add(dual_obs::Key::HdcEncoded, a);
+        }
+        let backward = dual_obs::Registry::new();
+        for &a in adds.iter().rev() {
+            backward.add(dual_obs::Key::HdcEncoded, a);
+        }
+        let total: u64 = adds.iter().sum();
+        prop_assert_eq!(forward.counter(dual_obs::Key::HdcEncoded), total);
+        prop_assert_eq!(
+            forward.stable_snapshot().to_json(),
+            backward.stable_snapshot().to_json()
+        );
+    }
+}
