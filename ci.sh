@@ -1,37 +1,211 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus the full workspace checks this repo holds itself to.
+# Staged CI pipeline: the tier-1 gate plus every workspace check this
+# repo holds itself to, with per-stage wall time and a pass/fail
+# summary table.
 #
-#   ./ci.sh            # build + tests + clippy + fmt + dual-lint
-#   DUAL_THREADS=4 ./ci.sh   # same, with a pinned pool thread count
+#   ./ci.sh                      # run every stage, summary at the end
+#   ./ci.sh --stage bench        # run one stage
+#   ./ci.sh --stage fmt,clippy   # run a comma-separated subset
+#   ./ci.sh --list               # list the stages
+#   DUAL_THREADS=4 ./ci.sh       # same, with a pinned pool thread count
+#   DUAL_BENCH_TOL=0.2 ./ci.sh --stage bench   # loosen the perf ratchet
+#
+# Stages:
+#   build        cargo build --release
+#   test         tier-1 root-package tests, then the full workspace
+#   doc          cargo test --doc --workspace (doctests incl. README/DESIGN fences)
+#   clippy       cargo clippy --workspace --all-targets -D warnings
+#   fmt          cargo fmt --all --check
+#   lint         dual-lint static-analysis gate (see DESIGN.md)
+#   bench        perf ratchet: timing ratios vs results/bench_summary.json
+#   obs          dual-obs overhead smoke + byte-stable obs snapshot diff
+#   fault        fault-degradation sweep, diffed against the committed report
+#   determinism  seed x DUAL_THREADS matrix: reports must be byte-identical
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release"
-cargo build --release
+ALL_STAGES=(build test doc clippy fmt lint bench obs fault determinism)
 
-echo "==> cargo test -q (tier-1: root package)"
-cargo test -q
+# ---------------------------------------------------------------- stages
 
-echo "==> cargo test -q --workspace"
-cargo test -q --workspace
+stage_build() {
+  cargo build --release
+}
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+stage_test() {
+  echo "--- cargo test -q (tier-1: root package)"
+  cargo test -q
+  echo "--- cargo test -q --workspace"
+  cargo test -q --workspace
+}
 
-echo "==> cargo fmt --all --check"
-cargo fmt --all --check
+stage_doc() {
+  cargo test -q --doc --workspace
+}
 
-echo "==> dual-lint check (static-analysis gate, see DESIGN.md)"
-cargo run -q -p dual-lint --release -- check --json
+stage_clippy() {
+  cargo clippy --workspace --all-targets -- -D warnings
+}
 
-echo "==> stream_throughput smoke (regenerates results/stream_throughput.json + results/obs_snapshot.json)"
-cargo run -q -p dual-bench --release --bin stream_throughput -- --metrics-out results/obs_snapshot.json
-git diff --exit-code -- results/stream_throughput.json \
-  || { echo "stream_throughput.json drifted: the report must be byte-stable"; exit 1; }
-git diff --exit-code -- results/obs_snapshot.json \
-  || { echo "obs_snapshot.json drifted: the dual-obs stable snapshot must be byte-stable"; exit 1; }
+stage_fmt() {
+  cargo fmt --all --check
+}
 
-echo "==> dual-obs overhead smoke (instrumented hot paths must stay within tolerance)"
-cargo run -q -p dual-bench --release --bin obs_overhead
+stage_lint() {
+  cargo run -q -p dual-lint --release -- check --json
+  git diff --exit-code -- results/lint-report.json \
+    || { echo "lint-report.json drifted: regenerate and commit it"; return 1; }
+}
 
+stage_bench() {
+  local tmp
+  tmp=$(mktemp -d)
+  echo "--- stream_throughput (report + ratchet metric)"
+  cargo run -q -p dual-bench --release --bin stream_throughput -- \
+    --summary-out "$tmp/stream.json"
+  git diff --exit-code -- results/stream_throughput.json \
+    || { echo "stream_throughput.json drifted: the report must be byte-stable"; return 1; }
+  echo "--- obs_overhead (ratchet metrics)"
+  cargo run -q -p dual-bench --release --bin obs_overhead -- \
+    --summary-out "$tmp/obs.json"
+  echo "--- bench_ratchet (vs committed results/bench_summary.json)"
+  cargo run -q -p dual-bench --release --bin bench_ratchet -- \
+    --baseline results/bench_summary.json \
+    --measured "$tmp/stream.json" --measured "$tmp/obs.json"
+  rm -rf "$tmp"
+}
+
+stage_obs() {
+  echo "--- dual-obs overhead smoke (instrumented hot paths within tolerance)"
+  cargo run -q -p dual-bench --release --bin obs_overhead
+  echo "--- stable obs snapshot (byte-stable across machines and DUAL_THREADS)"
+  cargo run -q -p dual-bench --release --bin stream_throughput -- \
+    --metrics-out results/obs_snapshot.json
+  git diff --exit-code -- results/obs_snapshot.json \
+    || { echo "obs_snapshot.json drifted: the dual-obs stable snapshot must be byte-stable"; return 1; }
+}
+
+stage_fault() {
+  cargo run -q -p dual-bench --release --bin fault_sweep
+  git diff --exit-code -- results/fault_degradation.json \
+    || { echo "fault_degradation.json drifted: the sweep must be byte-stable"; return 1; }
+}
+
+stage_determinism() {
+  local tmp
+  tmp=$(mktemp -d)
+  echo "--- parallel_consistency under DUAL_THREADS in {0, 2, 8}"
+  for threads in 0 2 8; do
+    DUAL_THREADS=$threads cargo test -q --release -p dual-integration \
+      --test parallel_consistency >/dev/null
+    echo "    DUAL_THREADS=$threads ok"
+  done
+  echo "--- fault_sweep seed x thread matrix (reports must be byte-identical)"
+  for seed in 42 1337; do
+    for threads in 0 2 8; do
+      DUAL_THREADS=$threads cargo run -q -p dual-bench --release --bin fault_sweep -- \
+        --seed "$seed" --out "$tmp/fault_${seed}_${threads}.json" >/dev/null
+    done
+    for threads in 2 8; do
+      diff "$tmp/fault_${seed}_0.json" "$tmp/fault_${seed}_${threads}.json" \
+        || { echo "fault_sweep diverged: seed=$seed DUAL_THREADS=$threads"; return 1; }
+    done
+    echo "    seed=$seed byte-identical across DUAL_THREADS in {0, 2, 8}"
+  done
+  echo "--- obs stable snapshots across DUAL_THREADS (reduced workload)"
+  for threads in 0 2 8; do
+    DUAL_THREADS=$threads cargo run -q -p dual-bench --release --bin stream_throughput -- \
+      24000 --report-out "$tmp/st_$threads.json" --metrics-out "$tmp/obs_$threads.json" >/dev/null
+  done
+  for threads in 2 8; do
+    diff "$tmp/obs_0.json" "$tmp/obs_$threads.json" \
+      || { echo "obs snapshot diverged at DUAL_THREADS=$threads"; return 1; }
+    diff "$tmp/st_0.json" "$tmp/st_$threads.json" \
+      || { echo "throughput report diverged at DUAL_THREADS=$threads"; return 1; }
+  done
+  echo "    snapshots byte-identical across DUAL_THREADS in {0, 2, 8}"
+  rm -rf "$tmp"
+}
+
+# ---------------------------------------------------------------- driver
+
+list_stages() {
+  printf '%s\n' "${ALL_STAGES[@]}"
+}
+
+is_stage() {
+  local s
+  for s in "${ALL_STAGES[@]}"; do
+    [[ "$s" == "$1" ]] && return 0
+  done
+  return 1
+}
+
+# Internal re-entry point: run exactly one stage under full strictness
+# (set -euo pipefail applies unconditionally in the child process; the
+# parent's `if` would otherwise suppress errexit in a plain function
+# call).
+if [[ "${1:-}" == "--run-one" ]]; then
+  shift
+  "stage_$1"
+  exit 0
+fi
+
+SELECTED=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --stage)
+      shift
+      [[ $# -gt 0 ]] || { echo "--stage requires a name (one of: $(list_stages | tr '\n' ' '))"; exit 2; }
+      IFS=',' read -ra parts <<<"$1"
+      for s in "${parts[@]}"; do
+        is_stage "$s" || { echo "unknown stage \`$s\` (one of: $(list_stages | tr '\n' ' '))"; exit 2; }
+        SELECTED+=("$s")
+      done
+      ;;
+    --list)
+      list_stages
+      exit 0
+      ;;
+    *)
+      echo "usage: ./ci.sh [--stage NAME[,NAME...]]... [--list]"
+      exit 2
+      ;;
+  esac
+  shift
+done
+[[ ${#SELECTED[@]} -gt 0 ]] || SELECTED=("${ALL_STAGES[@]}")
+
+ROWS=()
+FAILED=0
+for stage in "${SELECTED[@]}"; do
+  echo "==> stage: $stage"
+  t0=$(date +%s)
+  if bash "$0" --run-one "$stage"; then
+    status=ok
+  else
+    status=FAIL
+    FAILED=1
+  fi
+  secs=$(( $(date +%s) - t0 ))
+  ROWS+=("$stage|$status|$secs")
+  echo "<== stage: $stage [$status] (${secs}s)"
+  echo
+done
+
+echo "---------------------------------------"
+printf '  %-14s %-6s %6s\n' "stage" "status" "secs"
+total=0
+for row in "${ROWS[@]}"; do
+  IFS='|' read -r name status secs <<<"$row"
+  printf '  %-14s %-6s %6s\n' "$name" "$status" "$secs"
+  total=$((total + secs))
+done
+printf '  %-14s %-6s %6s\n' "total" "" "$total"
+echo "---------------------------------------"
+
+if [[ $FAILED -ne 0 ]]; then
+  echo "CI FAILED"
+  exit 1
+fi
 echo "CI OK"

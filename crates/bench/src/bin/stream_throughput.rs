@@ -12,12 +12,19 @@
 //! exclusively deterministic quantities — stage counters, per-batch
 //! PIM energy/latency from the DUAL cost model — so the file is
 //! byte-stable across machines, reruns, and thread counts.
+//!
+//! `--summary-out PATH` additionally measures the perf-ratchet metric
+//! `stream_pipeline_over_encode`: the median-of-5 ratio of full serial
+//! pipeline wall time over bare serial HD-encode wall time for the same
+//! points. Numerator and denominator scale together with the host, so
+//! the ratio is machine-normalized; `bench_ratchet` compares it against
+//! the committed `results/bench_summary.json`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use dual_data::DriftSpec;
-use dual_hdc::HdMapper;
+use dual_hdc::{Encoder, HdMapper};
 use dual_pim::StreamBatchCost;
 use dual_stream::{BackpressurePolicy, StreamConfig, StreamEngine, StreamSnapshot};
 
@@ -28,6 +35,11 @@ const DEFAULT_POINTS: usize = 120_000;
 /// Consumer cadence chosen to overrun the ring: the gap between ticks
 /// exceeds capacity, so every policy's degradation path is exercised.
 const TICK_EVERY: usize = 1536;
+/// Points per ratchet repetition (small: the metric is a ratio, not a
+/// throughput — it only needs enough work to dominate timer noise).
+const RATCHET_POINTS: usize = 24_000;
+/// Repetitions for the median (an odd count has a true median).
+const RATCHET_REPS: usize = 5;
 
 struct PolicyRun {
     policy: BackpressurePolicy,
@@ -95,6 +107,67 @@ fn metrics_json(runs: &[PolicyRun]) -> String {
     out
 }
 
+/// Median of an odd number of samples.
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Machine-normalized pipeline cost factor for the perf ratchet: wall
+/// time of the full serial streaming pipeline divided by wall time of
+/// bare serial HD encoding of the same points, median of
+/// [`RATCHET_REPS`] repetitions. Serial on both sides (`threads = 1`)
+/// so the ratio is independent of `DUAL_THREADS` and core count.
+fn ratchet_ratio() -> f64 {
+    let make_encoder = || {
+        HdMapper::builder(DIM, FEATURES)
+            .seed(7)
+            .sigma(6.0)
+            .build()
+            .expect("valid encoder spec")
+    };
+    let mut spec = DriftSpec::new(FEATURES, CLUSTERS);
+    spec.drift_rate = 1e-3;
+    let stream: Vec<Vec<f64>> = spec
+        .stream(42)
+        .take(RATCHET_POINTS)
+        .map(|(p, _)| p)
+        .collect();
+
+    let mut ratios = Vec::with_capacity(RATCHET_REPS);
+    for _ in 0..RATCHET_REPS {
+        // Denominator: bare serial encode of every point.
+        let enc = make_encoder();
+        let t0 = Instant::now();
+        for p in &stream {
+            std::hint::black_box(enc.encode(p).expect("well-shaped point"));
+        }
+        let t_encode = t0.elapsed().as_secs_f64();
+
+        // Numerator: the full pipeline (ring -> batch -> encode ->
+        // assign -> update -> meter) over the same points, serial.
+        let mut cfg = StreamConfig::new(CLUSTERS);
+        cfg.capacity = 1024;
+        cfg.max_batch = 256;
+        cfg.max_ticks = 4;
+        cfg.centroids_per_cluster = 2;
+        cfg.decay = 0.95;
+        cfg.threads = 1;
+        let mut engine = StreamEngine::new(make_encoder(), cfg).expect("valid stream config");
+        let t0 = Instant::now();
+        for (i, p) in stream.iter().enumerate() {
+            engine.push(p).expect("well-shaped point");
+            if (i + 1) % TICK_EVERY == 0 {
+                engine.tick().expect("tick");
+            }
+        }
+        engine.drain().expect("drain");
+        let t_pipeline = t0.elapsed().as_secs_f64();
+        ratios.push(t_pipeline / t_encode.max(1e-9));
+    }
+    median(ratios)
+}
+
 /// Hand-serialized report in the workspace's byte-stable JSON idiom:
 /// fixed key order, fixed float formatting, no wall-clock fields.
 fn to_json(points: usize, runs: &[PolicyRun]) -> String {
@@ -144,13 +217,20 @@ fn to_json(points: usize, runs: &[PolicyRun]) -> String {
 }
 
 fn main() {
-    // CLI: [POINTS] [--metrics-out <path>] in any order.
+    // CLI: [POINTS] [--metrics-out <path>] [--summary-out <path>]
+    // [--report-out <path>] in any order.
     let mut points = DEFAULT_POINTS;
     let mut metrics_out: Option<String> = None;
+    let mut summary_out: Option<String> = None;
+    let mut report_out = String::from("results/stream_throughput.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--metrics-out" {
             metrics_out = Some(args.next().expect("--metrics-out requires a path"));
+        } else if arg == "--summary-out" {
+            summary_out = Some(args.next().expect("--summary-out requires a path"));
+        } else if arg == "--report-out" {
+            report_out = args.next().expect("--report-out requires a path");
         } else {
             points = arg.parse().expect("POINTS must be a positive integer");
         }
@@ -212,11 +292,21 @@ fn main() {
 
     std::fs::create_dir_all("results").expect("can create results/");
     let json = to_json(points, &runs);
-    std::fs::write("results/stream_throughput.json", &json).expect("writable results/");
-    println!("\nreport written to results/stream_throughput.json (deterministic fields only)");
+    std::fs::write(&report_out, &json).expect("writable --report-out path");
+    println!("\nreport written to {report_out} (deterministic fields only)");
 
     if let Some(path) = metrics_out {
         std::fs::write(&path, metrics_json(&runs)).expect("writable --metrics-out path");
         println!("obs snapshot written to {path} (stable keys only)");
+    }
+
+    if let Some(path) = summary_out {
+        let r = ratchet_ratio();
+        let payload =
+            format!("{{\n  \"version\": 1,\n  \"stream_pipeline_over_encode\": {r:.4}\n}}\n");
+        std::fs::write(&path, payload).expect("writable --summary-out path");
+        println!(
+            "ratchet metric written to {path}: stream_pipeline_over_encode = {r:.4} (median of {RATCHET_REPS})"
+        );
     }
 }

@@ -1,0 +1,312 @@
+//! A faulted hypervector store: writes land through the fault plan,
+//! reads see permanent faults plus per-epoch transient flips, and the
+//! configured [`HealingPolicy`] decides what gets repaired.
+//!
+//! The store models the DUAL data array the way the hardware sees it:
+//! the *pristine* hypervector is what the controller attempted to
+//! write; every load resolves the logical row through the spare-row
+//! remap table and reads each cell through
+//! [`FaultPlan::read_bit`]/[`majority_read_bit`]. Nothing about a load
+//! depends on load order — only on `(row, col, epoch)` — so the store
+//! is bit-identical across thread counts by construction.
+
+use crate::heal::{majority_read_bit, HealingPolicy, SpareRowPool};
+use crate::plan::{FaultError, FaultPlan};
+use dual_hdc::Hypervector;
+use std::collections::BTreeMap;
+
+/// Running totals of fault activity observed through one store.
+///
+/// Callers mirror these into `dual_obs` (`fault.injected`,
+/// `fault.healed`, ...) — the store itself stays obs-free so the crate
+/// remains a leaf.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Bits that reached the reader corrupted (after healing).
+    pub injected: u64,
+    /// Bits a single read would have returned wrong but majority
+    /// re-read repaired.
+    pub healed: u64,
+    /// Logical rows remapped onto spare rows.
+    pub remapped: u64,
+    /// Stores that had to land on a faulty row because the spare pool
+    /// was exhausted (the caller should quarantine).
+    pub degraded_stores: u64,
+}
+
+/// What happened to a single `store` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// The row was healthy enough to use directly.
+    Direct,
+    /// The row was dead/over-worn and was remapped to this spare
+    /// physical row.
+    Remapped(usize),
+    /// The row needed a remap but the spare pool is exhausted; the
+    /// data was stored on the faulty row anyway.
+    Degraded,
+}
+
+/// Hypervector store with fault injection on the read path and
+/// policy-driven self-healing.
+#[derive(Debug, Clone)]
+pub struct FaultyStore {
+    plan: FaultPlan,
+    policy: HealingPolicy,
+    pool: SpareRowPool,
+    data_rows: usize,
+    remap_threshold: usize,
+    rows: BTreeMap<usize, Hypervector>,
+    stats: FaultStats,
+}
+
+impl FaultyStore {
+    /// Build a store over `plan`, reserving the top `policy.spares()`
+    /// physical rows as the spare pool. Fails if the plan has no data
+    /// rows left after the reservation.
+    pub fn new(plan: FaultPlan, policy: HealingPolicy) -> Result<Self, FaultError> {
+        let spares = policy.spares();
+        if plan.rows() <= spares {
+            return Err(FaultError::InvalidSpec {
+                name: "spares",
+                reason: "spare pool consumes every row in the plan",
+            });
+        }
+        let data_rows = plan.rows() - spares;
+        let remap_threshold = plan.cols() / 100 + 1;
+        Ok(Self {
+            pool: SpareRowPool::new(data_rows, spares),
+            data_rows,
+            remap_threshold,
+            plan,
+            policy,
+            rows: BTreeMap::new(),
+            stats: FaultStats::default(),
+        })
+    }
+
+    /// Override the stuck-cell count at which a live row is considered
+    /// over-worn and remapped (default: >1% of columns).
+    #[must_use]
+    pub fn with_remap_threshold(mut self, threshold: usize) -> Self {
+        self.remap_threshold = threshold.max(1);
+        self
+    }
+
+    /// Logical rows addressable by callers (plan rows minus spares).
+    #[must_use]
+    pub fn data_rows(&self) -> usize {
+        self.data_rows
+    }
+
+    /// The fault plan the store reads through.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The active healing policy.
+    #[must_use]
+    pub fn policy(&self) -> HealingPolicy {
+        self.policy
+    }
+
+    /// The spare-row pool (for gauge export).
+    #[must_use]
+    pub fn pool(&self) -> &SpareRowPool {
+        &self.pool
+    }
+
+    /// Fault-activity totals so far.
+    #[must_use]
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Whether `row` should be moved off its physical location.
+    fn needs_remap(&self, physical: usize) -> bool {
+        self.plan.is_dead_row(physical)
+            || self.plan.row_fault_count(physical) >= self.remap_threshold
+    }
+
+    /// Store `hv` at logical `row`. With spare-row healing enabled,
+    /// dead or over-worn rows are remapped before the write lands.
+    pub fn store(&mut self, row: usize, hv: Hypervector) -> Result<StoreOutcome, FaultError> {
+        if row >= self.data_rows {
+            return Err(FaultError::OutOfRange {
+                what: "row",
+                index: row,
+                bound: self.data_rows,
+            });
+        }
+        let outcome = if self.pool.is_remapped(row) {
+            StoreOutcome::Remapped(self.pool.resolve(row))
+        } else if self.needs_remap(row) && self.policy.spares() > 0 {
+            match self.pool.remap(row, &self.plan) {
+                Some(spare) => {
+                    self.stats.remapped += 1;
+                    StoreOutcome::Remapped(spare)
+                }
+                None => {
+                    self.stats.degraded_stores += 1;
+                    StoreOutcome::Degraded
+                }
+            }
+        } else if self.needs_remap(row) {
+            self.stats.degraded_stores += 1;
+            StoreOutcome::Degraded
+        } else {
+            StoreOutcome::Direct
+        };
+        self.rows.insert(row, hv);
+        Ok(outcome)
+    }
+
+    /// Load logical `row` at `epoch`, reading every cell through the
+    /// plan (and through majority re-read when the policy enables it).
+    /// Returns `None` for rows never stored.
+    pub fn load(&mut self, row: usize, epoch: u64) -> Option<Hypervector> {
+        // Split borrows: read the pristine image, then mutate stats.
+        let pristine = self.rows.get(&row)?.clone();
+        let physical = self.pool.resolve(row);
+        let reads = self.policy.reads();
+        let dim = pristine.dim();
+        let mut out = Hypervector::zeros(dim);
+        let mut injected = 0u64;
+        let mut healed = 0u64;
+        for col in 0..dim {
+            let stored = pristine.bits().get(col);
+            let seen = if reads > 1 {
+                let voted = majority_read_bit(&self.plan, physical, col, stored, epoch, reads);
+                let single =
+                    self.plan
+                        .read_bit(physical, col, stored, epoch.wrapping_mul(u64::from(reads)));
+                if single != stored && voted == stored {
+                    healed += 1;
+                }
+                voted
+            } else {
+                self.plan.read_bit(physical, col, stored, epoch)
+            };
+            if seen != stored {
+                injected += 1;
+            }
+            if seen {
+                out.bits_mut().set(col, true);
+            }
+        }
+        self.stats.injected += injected;
+        self.stats.healed += healed;
+        Some(out)
+    }
+
+    /// Rows currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlanSpec;
+    use dual_hdc::BitVec;
+
+    fn ones_hv(dim: usize) -> Hypervector {
+        Hypervector::from_bitvec(BitVec::ones(dim))
+    }
+
+    #[test]
+    fn fault_free_store_round_trips() {
+        let plan = FaultPlan::fault_free(8, 64);
+        let mut store = FaultyStore::new(plan, HealingPolicy::Off).unwrap();
+        let hv = ones_hv(64);
+        assert_eq!(store.store(3, hv.clone()).unwrap(), StoreOutcome::Direct);
+        assert_eq!(store.load(3, 7).unwrap(), hv);
+        assert_eq!(store.stats(), FaultStats::default());
+        assert!(store.load(2, 0).is_none());
+    }
+
+    #[test]
+    fn dead_row_is_remapped_when_spares_exist() {
+        let plan = FaultPlan::fault_free(8, 64).with_dead_row(1).unwrap();
+        let mut store = FaultyStore::new(plan, HealingPolicy::SpareRows { spares: 2 }).unwrap();
+        assert_eq!(store.data_rows(), 6);
+        // Spare pool lives at physical rows 6..8.
+        assert_eq!(
+            store.store(1, ones_hv(64)).unwrap(),
+            StoreOutcome::Remapped(6)
+        );
+        assert_eq!(store.load(1, 0).unwrap(), ones_hv(64));
+        assert_eq!(store.stats().remapped, 1);
+        assert_eq!(store.stats().injected, 0);
+    }
+
+    #[test]
+    fn dead_row_without_spares_reads_zeros() {
+        let plan = FaultPlan::fault_free(8, 64).with_dead_row(1).unwrap();
+        let mut store = FaultyStore::new(plan, HealingPolicy::Off).unwrap();
+        assert_eq!(store.store(1, ones_hv(64)).unwrap(), StoreOutcome::Degraded);
+        let got = store.load(1, 0).unwrap();
+        assert_eq!(got.bits().count_ones(), 0);
+        assert_eq!(store.stats().injected, 64);
+        assert_eq!(store.stats().degraded_stores, 1);
+    }
+
+    #[test]
+    fn majority_reread_heals_and_counts() {
+        let mut spec = FaultPlanSpec::clean(8, 2048);
+        spec.seed = 9;
+        spec.flip_rate = 0.1;
+        let plan = FaultPlan::new(spec).unwrap();
+        let mut healed_store =
+            FaultyStore::new(plan.clone(), HealingPolicy::MajorityReread { reads: 5 }).unwrap();
+        let mut raw_store = FaultyStore::new(plan, HealingPolicy::Off).unwrap();
+        healed_store.store(0, ones_hv(2048)).unwrap();
+        raw_store.store(0, ones_hv(2048)).unwrap();
+        let _ = healed_store.load(0, 3);
+        let _ = raw_store.load(0, 3);
+        assert!(raw_store.stats().injected > 100, "flips land on raw reads");
+        assert!(
+            healed_store.stats().injected * 10 < raw_store.stats().injected,
+            "healing crushes the error rate: {} vs {}",
+            healed_store.stats().injected,
+            raw_store.stats().injected
+        );
+        assert!(healed_store.stats().healed > 0);
+    }
+
+    #[test]
+    fn loads_are_epoch_keyed_not_order_keyed() {
+        let mut spec = FaultPlanSpec::clean(4, 512);
+        spec.seed = 11;
+        spec.flip_rate = 0.05;
+        let plan = FaultPlan::new(spec).unwrap();
+        let mut a = FaultyStore::new(plan.clone(), HealingPolicy::Off).unwrap();
+        let mut b = FaultyStore::new(plan, HealingPolicy::Off).unwrap();
+        a.store(0, ones_hv(512)).unwrap();
+        a.store(1, ones_hv(512)).unwrap();
+        b.store(0, ones_hv(512)).unwrap();
+        b.store(1, ones_hv(512)).unwrap();
+        // Different access order, same epochs: identical reads.
+        let a0 = a.load(0, 42).unwrap();
+        let a1 = a.load(1, 43).unwrap();
+        let b1 = b.load(1, 43).unwrap();
+        let b0 = b.load(0, 42).unwrap();
+        assert_eq!(a0, b0);
+        assert_eq!(a1, b1);
+    }
+
+    #[test]
+    fn spare_reservation_must_leave_data_rows() {
+        let plan = FaultPlan::fault_free(4, 8);
+        assert!(FaultyStore::new(plan, HealingPolicy::SpareRows { spares: 4 }).is_err());
+    }
+}

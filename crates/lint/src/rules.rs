@@ -10,7 +10,11 @@
 //! | `r4-unsafe`     | no `unsafe` in `crates/`; `unsafe` in `shims/` requires a `// SAFETY:` comment |
 //!
 //! Tests, benches, examples, fixtures, and `src/bin/` application code
-//! are exempt from R1–R3 (R4 applies everywhere). Any finding can be
+//! are exempt from R1–R3 (R4 applies everywhere) — with one carve-out:
+//! a file explicitly listed in [`RuleConfig::cast_audited_files`] is
+//! audited by R3 even when it lives under an exempt path, so
+//! result-emitting binaries (e.g. `fault_sweep`) carry the same cast
+//! discipline as the cost-model library files. Any finding can be
 //! silenced at the site with `// lint:allow(<rule-id>): <reason>` —
 //! either trailing on the offending line or on its own line directly
 //! above the offending statement.
@@ -127,7 +131,7 @@ pub struct RuleConfig {
 impl Default for RuleConfig {
     fn default() -> Self {
         Self {
-            result_crates: ["pim", "cluster", "core", "hdc", "stream", "obs"]
+            result_crates: ["pim", "cluster", "core", "hdc", "stream", "obs", "fault"]
                 .iter()
                 .map(ToString::to_string)
                 .collect(),
@@ -140,6 +144,7 @@ impl Default for RuleConfig {
                 "crates/pim/src/streaming.rs",
                 "crates/pim/src/variation.rs",
                 "crates/core/src/perf.rs",
+                "crates/bench/src/bin/fault_sweep.rs",
             ]
             .iter()
             .map(ToString::to_string)
@@ -261,8 +266,10 @@ pub fn analyze_source(rel_path: &str, src: &str, cfg: &RuleConfig) -> Vec<Violat
             }
         }
 
-        // R3: numeric-cast audit in cost-model files.
-        if !exempt_file && !exempt_tokens[k] && cast_audited && name == "as" {
+        // R3: numeric-cast audit in cost-model files. An explicit
+        // `cast_audited_files` listing overrides the path exemption, so
+        // result-emitting `src/bin/` code can opt into the audit.
+        if cast_audited && !exempt_tokens[k] && name == "as" {
             if let Some(Tok::Ident(ty)) = toks.get(k + 1).map(|n| &n.tok) {
                 if NUMERIC_TYPES.contains(&ty.as_str()) {
                     out.push(Violation {

@@ -135,9 +135,9 @@ pub enum Kind {
 }
 
 /// Number of counter slots.
-pub(crate) const N_COUNTERS: usize = 24;
+pub(crate) const N_COUNTERS: usize = 28;
 /// Number of gauge slots.
-pub(crate) const N_GAUGES: usize = 22;
+pub(crate) const N_GAUGES: usize = 26;
 /// Number of histogram slots.
 pub(crate) const N_HISTS: usize = 5;
 
@@ -196,6 +196,15 @@ pub enum Key {
     StreamSeeded,
     /// Stream: sub-centroid majority re-binarizations.
     StreamRebinarized,
+    /// Fault: bits that reached a reader corrupted (after healing).
+    FaultInjected,
+    /// Fault: bits repaired by majority re-read voting.
+    FaultHealed,
+    /// Fault: shard quarantine trips.
+    FaultQuarantined,
+    /// Fault: quarantined shards released back to service (work
+    /// requeued).
+    FaultRequeued,
     // ---- gauges ---------------------------------------------------------
     /// Modeled chip latency of one pipeline stage, nanoseconds.
     PhaseTimeNs(Stage),
@@ -207,6 +216,15 @@ pub enum Key {
     PimEnergyPj,
     /// Op issues bridged from `dual_pim::EnergyStats`, by family.
     PimOpIssues(OpFamily),
+    /// Spare rows handed out by the active healing policy.
+    FaultSpareUsed,
+    /// Spare rows still available in the pool.
+    FaultSpareFree,
+    /// Shards currently benched by the quarantine machine.
+    FaultQuarantineActive,
+    /// Reads per cell the active healing policy performs (1 = voting
+    /// off).
+    FaultRereadReads,
     // ---- histograms -----------------------------------------------------
     /// Points per committed stream micro-batch.
     StreamBatchPoints,
@@ -248,6 +266,10 @@ impl Key {
         Key::StreamAssigned,
         Key::StreamSeeded,
         Key::StreamRebinarized,
+        Key::FaultInjected,
+        Key::FaultHealed,
+        Key::FaultQuarantined,
+        Key::FaultRequeued,
         Key::PhaseTimeNs(Stage::Encoding),
         Key::PhaseTimeNs(Stage::Hamming),
         Key::PhaseTimeNs(Stage::Accumulate),
@@ -270,6 +292,10 @@ impl Key {
         Key::PimOpIssues(OpFamily::Div),
         Key::PimOpIssues(OpFamily::Transfer),
         Key::PimOpIssues(OpFamily::Write),
+        Key::FaultSpareUsed,
+        Key::FaultSpareFree,
+        Key::FaultQuarantineActive,
+        Key::FaultRereadReads,
         Key::StreamBatchPoints,
         Key::SpanKmeansFit,
         Key::SpanDbscanFit,
@@ -305,11 +331,19 @@ impl Key {
             Self::StreamAssigned => (Kind::Counter, 21),
             Self::StreamSeeded => (Kind::Counter, 22),
             Self::StreamRebinarized => (Kind::Counter, 23),
+            Self::FaultInjected => (Kind::Counter, 24),
+            Self::FaultHealed => (Kind::Counter, 25),
+            Self::FaultQuarantined => (Kind::Counter, 26),
+            Self::FaultRequeued => (Kind::Counter, 27),
             Self::PhaseTimeNs(s) => (Kind::Gauge, s.index()),
             Self::PhaseEnergyPj(s) => (Kind::Gauge, Stage::ALL.len() + s.index()),
             Self::PimTimeNs => (Kind::Gauge, 12),
             Self::PimEnergyPj => (Kind::Gauge, 13),
             Self::PimOpIssues(f) => (Kind::Gauge, 14 + f.index()),
+            Self::FaultSpareUsed => (Kind::Gauge, 22),
+            Self::FaultSpareFree => (Kind::Gauge, 23),
+            Self::FaultQuarantineActive => (Kind::Gauge, 24),
+            Self::FaultRereadReads => (Kind::Gauge, 25),
             Self::StreamBatchPoints => (Kind::Histogram, 0),
             Self::SpanKmeansFit => (Kind::Histogram, 1),
             Self::SpanDbscanFit => (Kind::Histogram, 2),
@@ -352,6 +386,10 @@ impl Key {
             Self::StreamAssigned => "stream.assigned",
             Self::StreamSeeded => "stream.seeded",
             Self::StreamRebinarized => "stream.rebinarized",
+            Self::FaultInjected => "fault.injected",
+            Self::FaultHealed => "fault.healed",
+            Self::FaultQuarantined => "fault.quarantined",
+            Self::FaultRequeued => "fault.requeued",
             Self::PhaseTimeNs(s) => match s {
                 Stage::Encoding => "phase.encoding.time_ns",
                 Stage::Hamming => "phase.hamming.time_ns",
@@ -380,6 +418,10 @@ impl Key {
                 OpFamily::Transfer => "pim.op.transfer.issues",
                 OpFamily::Write => "pim.op.write.issues",
             },
+            Self::FaultSpareUsed => "fault.spare.used",
+            Self::FaultSpareFree => "fault.spare.free",
+            Self::FaultQuarantineActive => "fault.quarantine.active",
+            Self::FaultRereadReads => "fault.reread.reads",
             Self::StreamBatchPoints => "stream.batch_points",
             Self::SpanKmeansFit => "span.kmeans_fit",
             Self::SpanDbscanFit => "span.dbscan_fit",

@@ -60,6 +60,25 @@ impl MonteCarloResult {
             f64::from(self.correct) / f64::from(self.trials)
         }
     }
+
+    /// Fraction of trials the variation corrupted — the transient
+    /// per-read flip rate this variation level implies, suitable for
+    /// `dual_fault::FaultPlanSpec::flip_rate`.
+    #[must_use]
+    pub fn flip_rate(&self) -> f64 {
+        1.0 - self.accuracy()
+    }
+}
+
+/// Transient bit-flip rate implied by Gaussian device variation: runs
+/// the §VIII-G Monte-Carlo margin experiment and reports the fraction
+/// of corrupted comparisons. This is the calibrated bridge from the
+/// analytic variation model to `dual_fault::FaultPlanSpec::flip_rate`
+/// — at the paper's 10 % / 4-bit operating point it is ≈ 0 (exact),
+/// and grows once stages widen or variation exceeds the margin.
+#[must_use]
+pub fn variation_flip_rate(config: MonteCarloConfig) -> f64 {
+    run_monte_carlo(config).flip_rate()
 }
 
 /// Voltage ladder for a stage of `bits` bits, MSB first

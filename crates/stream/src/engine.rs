@@ -15,6 +15,9 @@ use crate::batcher::{Batcher, CutReason};
 use crate::error::StreamError;
 use crate::online::OnlineKMeans;
 use crate::ring::{BackpressurePolicy, PushOutcome, Ring};
+use dual_fault::{
+    majority_read_bit, FaultPlan, HealingPolicy, Quarantine, QuarantineConfig, SpareRowPool,
+};
 use dual_hdc::{Encoder, Hypervector};
 use dual_obs::{Key, Registry};
 use dual_pim::{CostModel, Op, StreamBatchCost, StreamMeter};
@@ -110,6 +113,89 @@ impl StreamConfig {
     }
 }
 
+/// Fault-injection configuration of a [`StreamEngine`]: the physical
+/// fault plan, the self-healing policy, and the shard quarantine
+/// budget (see [`StreamEngine::with_fault_injection`]).
+///
+/// The plan's geometry must cover the engine: `cols ≥ dim(D)` (every
+/// hypervector bit has a cell) and `rows ≥ slots + spares` (every
+/// sub-centroid slot has a row, followed by the spare pool).
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// The deterministic fault plan stored sub-centroids are read
+    /// through.
+    pub plan: FaultPlan,
+    /// Which self-healing mechanisms are active.
+    pub policy: HealingPolicy,
+    /// Retry/backoff budget of the shard quarantine machine.
+    pub quarantine: QuarantineConfig,
+    /// Observed corrupted-bit fraction (per shard, per sense pass)
+    /// above which the shard is benched. In `(0, 1]`.
+    pub quarantine_threshold: f64,
+}
+
+impl FaultConfig {
+    /// A config over `plan` with healing off, the default quarantine
+    /// budget, and a 2 % corruption threshold.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            policy: HealingPolicy::Off,
+            quarantine: QuarantineConfig::default(),
+            quarantine_threshold: 0.02,
+        }
+    }
+
+    /// Replace the healing policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: HealingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// A consistent export of the engine's fault/healing state (see
+/// [`StreamEngine::fault_status`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultStatus {
+    /// Healing policy label (`off` / `spare_rows` / `majority_reread`
+    /// / `full`).
+    pub policy: String,
+    /// Reads per cell under majority re-read (1 when off).
+    pub reads: u32,
+    /// Spare rows handed out by the remap pool.
+    pub spares_used: usize,
+    /// Spare rows still available.
+    pub spares_free: usize,
+    /// Bits observed corrupted on the raw (first) read, lifetime.
+    pub injected: u64,
+    /// Corrupted raw reads repaired by majority voting, lifetime.
+    pub healed: u64,
+    /// Shard quarantine trips, lifetime.
+    pub quarantine_trips: u64,
+    /// Quarantined shards released back to service, lifetime.
+    pub requeues: u64,
+    /// Shards currently benched.
+    pub quarantined_now: usize,
+    /// Shards permanently out of rotation.
+    pub dead_shards: usize,
+}
+
+/// Live fault-injection state threaded through the cut pipeline.
+#[derive(Debug, Clone)]
+struct FaultState {
+    plan: FaultPlan,
+    policy: HealingPolicy,
+    pool: SpareRowPool,
+    quarantine: Quarantine,
+    /// Per-shard corrupted-bit fraction that trips quarantine.
+    threshold: f64,
+    /// Permanent faults per row above which a row is remapped
+    /// (`cols / 100 + 1`: about 1 % of the row).
+    remap_threshold: usize,
+}
+
 /// Per-stage event counters, monotone over the engine's lifetime.
 ///
 /// Since the `dual-obs` rebase this is a plain *export* struct: the
@@ -178,6 +264,9 @@ pub struct StreamEngine<E> {
     batcher: Batcher,
     model: OnlineKMeans,
     meter: StreamMeter,
+    /// Fault injection + self-healing, when enabled via
+    /// [`StreamEngine::with_fault_injection`].
+    fault: Option<FaultState>,
     /// Engine-private metrics registry: every pipeline event lands here
     /// under the `stream.*` keys, and the chip-cost gauges (`pim.*`)
     /// are refreshed after each committed batch. Private so snapshots
@@ -230,9 +319,58 @@ impl<E: Encoder + Sync> StreamEngine<E> {
             batcher: Batcher::new(config.max_batch, config.max_ticks),
             model,
             meter: StreamMeter::new(cost),
+            fault: None,
             obs: Registry::new(),
             config,
         })
+    }
+
+    /// Enable deterministic fault injection: stored sub-centroids are
+    /// *sensed* through `fault.plan` before every assignment pass, the
+    /// healing policy remaps dead/worn rows and majority-votes
+    /// re-reads, and shards whose observed corruption exceeds the
+    /// threshold are quarantined (their batches deferred in the ring)
+    /// with an exponential backoff on the logical tick clock.
+    ///
+    /// Physical layout: sub-centroid slot `s` lives in plan row `s`;
+    /// the spare pool occupies rows `slots .. slots + spares`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] when the threshold is
+    /// outside `(0, 1]`, the plan has fewer columns than the
+    /// hypervector dimension, or fewer rows than `slots + spares`.
+    pub fn with_fault_injection(mut self, fault: FaultConfig) -> Result<Self, StreamError> {
+        if !(fault.quarantine_threshold > 0.0 && fault.quarantine_threshold <= 1.0) {
+            return Err(StreamError::InvalidConfig {
+                name: "fault.quarantine_threshold",
+                reason: "must be in (0, 1]",
+            });
+        }
+        if fault.plan.cols() < self.encoder.dim() {
+            return Err(StreamError::InvalidConfig {
+                name: "fault.plan",
+                reason: "plan columns narrower than the hypervector dimension",
+            });
+        }
+        let slots = self.model.slots();
+        let spares = fault.policy.spares();
+        if fault.plan.rows() < slots + spares {
+            return Err(StreamError::InvalidConfig {
+                name: "fault.plan",
+                reason: "plan rows cannot hold every sub-centroid slot plus the spare pool",
+            });
+        }
+        let remap_threshold = fault.plan.cols() / 100 + 1;
+        self.fault = Some(FaultState {
+            pool: SpareRowPool::new(slots, spares),
+            quarantine: Quarantine::new(self.config.shards, fault.quarantine),
+            plan: fault.plan,
+            policy: fault.policy,
+            threshold: fault.quarantine_threshold,
+            remap_threshold,
+        });
+        Ok(self)
     }
 
     /// The engine's configuration.
@@ -282,6 +420,25 @@ impl<E: Encoder + Sync> StreamEngine<E> {
     #[must_use]
     pub fn meter(&self) -> &StreamMeter {
         &self.meter
+    }
+
+    /// Current fault/healing state, `None` when fault injection is
+    /// off.
+    #[must_use]
+    pub fn fault_status(&self) -> Option<FaultStatus> {
+        let f = self.fault.as_ref()?;
+        Some(FaultStatus {
+            policy: f.policy.name().to_owned(),
+            reads: f.policy.reads(),
+            spares_used: f.pool.used(),
+            spares_free: f.pool.free(),
+            injected: self.obs.counter(Key::FaultInjected),
+            healed: self.obs.counter(Key::FaultHealed),
+            quarantine_trips: f.quarantine.stats().quarantined,
+            requeues: self.obs.counter(Key::FaultRequeued),
+            quarantined_now: f.quarantine.quarantined_count(),
+            dead_shards: f.quarantine.dead_count(),
+        })
     }
 
     /// The online clustering model.
@@ -342,13 +499,22 @@ impl<E: Encoder + Sync> StreamEngine<E> {
                 BackpressurePolicy::Block => {
                     self.obs.add(Key::StreamInlineFlushes, 1);
                     self.cut_batch(CutReason::Backpressure)?;
-                    if let Err(point) = self.ring.try_push(point) {
-                        // Unreachable: the inline flush freed at least
-                        // one slot. Never lose the point regardless.
-                        let _ = self.ring.force_push(point);
+                    match self.ring.try_push(point) {
+                        Ok(()) => {
+                            self.obs.add(Key::StreamIngested, 1);
+                            Ok(PushOutcome::AcceptedAfterFlush)
+                        }
+                        Err(point) => {
+                            // Only reachable when quarantine deferred
+                            // the inline flush and the ring is still
+                            // full: shed the stalest buffered point
+                            // rather than deadlock the producer.
+                            let _evicted = self.ring.force_push(point);
+                            self.obs.add(Key::StreamDropped, 1);
+                            self.obs.add(Key::StreamIngested, 1);
+                            Ok(PushOutcome::AcceptedDroppedOldest)
+                        }
                     }
-                    self.obs.add(Key::StreamIngested, 1);
-                    Ok(PushOutcome::AcceptedAfterFlush)
                 }
                 BackpressurePolicy::DropOldest => {
                     let _evicted = self.ring.force_push(point);
@@ -368,6 +534,11 @@ impl<E: Encoder + Sync> StreamEngine<E> {
     /// that is due (size threshold first, then the deadline), returning
     /// their costs in commit order.
     ///
+    /// Under fault injection the tick first releases every quarantined
+    /// shard whose backoff expired (their deferred work requeues —
+    /// the ring held it all along). While any shard remains benched,
+    /// due batches stay buffered and this returns no costs.
+    ///
     /// # Errors
     ///
     /// Propagates encode-stage errors.
@@ -376,15 +547,30 @@ impl<E: Encoder + Sync> StreamEngine<E> {
         // Keep the registry's logical clock in lockstep with the
         // batcher so exported snapshots carry stream time.
         self.obs.tick(1);
+        let now = self.batcher.now();
+        if let Some(f) = self.fault.as_mut() {
+            let released = f.quarantine.tick(now);
+            if !released.is_empty() {
+                self.obs.add(Key::FaultRequeued, as_u64(released.len()));
+                self.refresh_fault_gauges();
+            }
+        }
         let mut costs = Vec::new();
         while let Some(reason) = self.batcher.due(self.ring.len()) {
-            costs.push(self.cut_batch(reason)?);
+            match self.cut_batch(reason)? {
+                Some(cost) => costs.push(cost),
+                // Quarantine deferred the batch: the ring keeps the
+                // points and the deadline stays armed for a retry.
+                None => break,
+            }
         }
         Ok(costs)
     }
 
     /// Flush every buffered point through the pipeline, regardless of
-    /// thresholds, returning the committed batch costs.
+    /// thresholds (and regardless of shard quarantine — a drain forces
+    /// processing, masking only the benched shards), returning the
+    /// committed batch costs.
     ///
     /// # Errors
     ///
@@ -392,7 +578,12 @@ impl<E: Encoder + Sync> StreamEngine<E> {
     pub fn drain(&mut self) -> Result<Vec<StreamBatchCost>, StreamError> {
         let mut costs = Vec::new();
         while !self.ring.is_empty() {
-            costs.push(self.cut_batch(CutReason::Drain)?);
+            match self.cut_batch(CutReason::Drain)? {
+                Some(cost) => costs.push(cost),
+                // Unreachable: a drain cut is never deferred. Guard
+                // against a livelock regardless.
+                None => break,
+            }
         }
         Ok(costs)
     }
@@ -416,9 +607,25 @@ impl<E: Encoder + Sync> StreamEngine<E> {
     }
 
     /// Pop up to `max_batch` points and run them through
-    /// encode → assign → accumulate → re-binarize, committing the
-    /// batch's chip cost.
-    fn cut_batch(&mut self, reason: CutReason) -> Result<StreamBatchCost, StreamError> {
+    /// sense → encode → assign → accumulate → re-binarize, committing
+    /// the batch's chip cost. Returns `None` (without popping) when a
+    /// quarantined shard defers the batch — the ring itself is the
+    /// requeue buffer, and the batcher deadline stays armed because
+    /// `note_cut` is never reached. A [`CutReason::Drain`] cut forces
+    /// processing, masking only the benched shards.
+    fn cut_batch(&mut self, reason: CutReason) -> Result<Option<StreamBatchCost>, StreamError> {
+        let force = matches!(reason, CutReason::Drain);
+        if !force && self.quarantine_active() {
+            return Ok(None);
+        }
+        // Fault path, sense stage (pre-pop): may trip a quarantine,
+        // in which case the batch defers before any point is consumed.
+        let views = self.sense_centroids();
+        if !force && self.quarantine_active() {
+            self.refresh_fault_gauges();
+            return Ok(None);
+        }
+
         let mut rows: Vec<Vec<f64>> = Vec::with_capacity(self.config.max_batch);
         while rows.len() < self.config.max_batch {
             match self.ring.pop() {
@@ -440,8 +647,17 @@ impl<E: Encoder + Sync> StreamEngine<E> {
         }
         self.charge_encode(n);
 
-        // Cluster stage.
-        let update = self.model.observe_batch(&encoded, self.config.threads);
+        // Cluster stage: faults on → assign against the sensed view
+        // (storage stays pristine; the majority rewrite heals it).
+        let update = match views {
+            None => self.model.observe_batch(&encoded, self.config.threads),
+            Some(views) => {
+                self.model
+                    .observe_batch_sensed(&encoded, self.config.threads, |slot, _| {
+                        views.get(slot).cloned().flatten()
+                    })
+            }
+        };
         self.charge_assign(n, self.model.seeded());
         self.charge_update(n, as_u64(update.rebinarized));
 
@@ -462,7 +678,130 @@ impl<E: Encoder + Sync> StreamEngine<E> {
         self.batcher.note_cut();
         let cost = self.meter.commit_batch(n);
         self.refresh_pim_gauges();
-        Ok(cost)
+        self.refresh_fault_gauges();
+        Ok(Some(cost))
+    }
+
+    /// Whether any shard is currently benched (fault path only).
+    fn quarantine_active(&self) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|f| f.quarantine.quarantined_count() > 0)
+    }
+
+    /// Fault path, sense stage: read every stored sub-centroid through
+    /// the fault plan at the current logical epoch. Dead or badly worn
+    /// rows are first remapped into the spare pool (when the policy
+    /// provisions spares) and every bit is majority-voted over
+    /// re-reads (when it provisions them). Per-shard corrupted-bit
+    /// fractions above the quarantine threshold bench the shard; slots
+    /// of non-serving shards are masked (`None`) so assignment routes
+    /// around them.
+    ///
+    /// Returns `None` when fault injection is off. Every draw is keyed
+    /// off `(plan seed, physical row, column, epoch)` — never
+    /// iteration order — so the sense pass replays bit-identically
+    /// under any thread count.
+    fn sense_centroids(&mut self) -> Option<Vec<Option<Hypervector>>> {
+        let fault = self.fault.as_mut()?;
+        let seeded = self.model.seeded();
+        let dim = self.model.dim();
+        let epoch = self.batcher.now();
+        let reads = fault.policy.reads();
+        let remap_on = fault.policy.spares() > 0;
+        let ranges = dual_pool::chunk_ranges(seeded, self.config.shards);
+        let centroids = self.model.centroids();
+        let mut views: Vec<Option<Hypervector>> = Vec::with_capacity(seeded);
+        let mut shard_bad: Vec<u64> = vec![0; ranges.len()];
+        let mut injected = 0u64;
+        let mut healed = 0u64;
+        for (shard, range) in ranges.iter().enumerate() {
+            for slot in range.clone() {
+                let stored = &centroids[slot];
+                if remap_on
+                    && !fault.pool.is_remapped(slot)
+                    && (fault.plan.is_dead_row(slot)
+                        || fault.plan.row_fault_count(slot) >= fault.remap_threshold)
+                {
+                    // An exhausted pool returns None: the row keeps
+                    // serving faulty and quarantine picks up the shard.
+                    let _spare = fault.pool.remap(slot, &fault.plan);
+                }
+                let row = fault.pool.resolve(slot);
+                let mut seen = Hypervector::zeros(dim);
+                for c in 0..dim {
+                    let stored_bit = stored.bits().get(c);
+                    // The raw (j = 0) read of the voting window — what
+                    // a single read would have observed.
+                    let raw = fault.plan.read_bit(
+                        row,
+                        c,
+                        stored_bit,
+                        epoch.wrapping_mul(u64::from(reads)),
+                    );
+                    let bit = if reads > 1 {
+                        majority_read_bit(&fault.plan, row, c, stored_bit, epoch, reads)
+                    } else {
+                        raw
+                    };
+                    if raw != stored_bit {
+                        injected += 1;
+                        if bit == stored_bit {
+                            healed += 1;
+                        }
+                    }
+                    if bit != stored_bit {
+                        shard_bad[shard] += 1;
+                    }
+                    seen.bits_mut().set(c, bit);
+                }
+                views.push(Some(seen));
+            }
+        }
+        // Trip quarantine on shards whose observed corruption exceeds
+        // the threshold, then mask every slot of a non-serving shard.
+        let mut trips = 0u64;
+        for (shard, range) in ranges.iter().enumerate() {
+            let cells = as_u64(range.len() * dim);
+            if cells == 0 {
+                continue;
+            }
+            if as_f64(shard_bad[shard]) / as_f64(cells) > fault.threshold
+                && fault.quarantine.is_serving(shard)
+            {
+                fault.quarantine.quarantine(shard, epoch);
+                trips += 1;
+            }
+        }
+        for (shard, range) in ranges.iter().enumerate() {
+            if !fault.quarantine.is_serving(shard) {
+                for view in &mut views[range.clone()] {
+                    *view = None;
+                }
+            }
+        }
+        self.obs.add(Key::FaultInjected, injected);
+        self.obs.add(Key::FaultHealed, healed);
+        if trips > 0 {
+            self.obs.add(Key::FaultQuarantined, trips);
+        }
+        Some(views)
+    }
+
+    /// Mirror the fault/healing state into the registry's `fault.*`
+    /// gauges (no-op when fault injection is off).
+    fn refresh_fault_gauges(&mut self) {
+        let Some(f) = &self.fault else { return };
+        self.obs
+            .gauge(Key::FaultSpareUsed, as_f64(as_u64(f.pool.used())));
+        self.obs
+            .gauge(Key::FaultSpareFree, as_f64(as_u64(f.pool.free())));
+        self.obs.gauge(
+            Key::FaultQuarantineActive,
+            as_f64(as_u64(f.quarantine.quarantined_count())),
+        );
+        self.obs
+            .gauge(Key::FaultRereadReads, f64::from(f.policy.reads()));
     }
 
     /// Mirror the meter's accumulated chip costs into the registry's
@@ -505,13 +844,19 @@ impl<E: Encoder + Sync> StreamEngine<E> {
     /// window sweeps plus a bit-serial nearest search of
     /// `ceil(bits(D) / 4)` 4-bit stages, both row-parallel across the
     /// block(s) storing the `centroids` sub-centroid rows (§IV-A).
+    /// Under a majority re-read healing policy every window sweep is
+    /// repeated `reads` times — the latency/energy price of voting.
     fn charge_assign(&mut self, n: u64, centroids: usize) {
         let windows = as_u64(self.encoder.dim().div_ceil(7));
+        let reads = self
+            .fault
+            .as_ref()
+            .map_or(1, |f| u64::from(f.policy.reads()));
         let centroid_blocks = as_u64(centroids.div_ceil(BLOCK_ROWS)).max(1);
         let dist_bits = u64::from(usize::BITS - self.encoder.dim().leading_zeros());
         let stages = dist_bits.div_ceil(4);
         self.meter
-            .record_grid(Op::HammingWindow, n * windows, centroid_blocks);
+            .record_grid(Op::HammingWindow, n * windows * reads, centroid_blocks);
         self.meter
             .record_grid(Op::NearestStage, n * stages, centroid_blocks);
     }
@@ -730,6 +1075,262 @@ mod tests {
             e.seed_centroids(&[Hypervector::zeros(64)]),
             Err(StreamError::CentroidShape { .. })
         ));
+    }
+
+    fn ones(dim: usize) -> Hypervector {
+        Hypervector::from_bitvec(dual_hdc::BitVec::ones(dim))
+    }
+
+    #[test]
+    fn fault_free_plan_changes_nothing() {
+        let stream = |mut e: StreamEngine<HdMapper>| {
+            for i in 0..60 {
+                e.push(&point(i)).unwrap();
+                if i % 10 == 9 {
+                    e.tick().unwrap();
+                }
+            }
+            e.drain().unwrap();
+            e.snapshot()
+        };
+        let mut cfg = StreamConfig::new(3);
+        cfg.max_batch = 8;
+        cfg.decay = 0.9;
+        let plain = stream(engine(cfg.clone()));
+        let faulted_engine = engine(cfg)
+            .with_fault_injection(FaultConfig::new(dual_fault::FaultPlan::fault_free(8, 64)))
+            .unwrap();
+        let status = faulted_engine.fault_status().unwrap();
+        assert_eq!(status.policy, "off");
+        assert_eq!(status.reads, 1);
+        let faulted = stream(faulted_engine);
+        assert_eq!(plain, faulted, "a clean plan must be transparent");
+    }
+
+    #[test]
+    fn fault_config_validation_names_the_parameter() {
+        let plan = dual_fault::FaultPlan::fault_free(8, 64);
+        let mut bad = FaultConfig::new(plan.clone());
+        bad.quarantine_threshold = 0.0;
+        assert!(matches!(
+            engine(StreamConfig::new(3)).with_fault_injection(bad),
+            Err(StreamError::InvalidConfig {
+                name: "fault.quarantine_threshold",
+                ..
+            })
+        ));
+        // 32 columns cannot hold 64-bit hypervectors.
+        let narrow = FaultConfig::new(dual_fault::FaultPlan::fault_free(8, 32));
+        assert!(matches!(
+            engine(StreamConfig::new(3)).with_fault_injection(narrow),
+            Err(StreamError::InvalidConfig {
+                name: "fault.plan",
+                ..
+            })
+        ));
+        // 3 slots + 8 spares need 11 rows; the plan has 8.
+        let cramped =
+            FaultConfig::new(plan).with_policy(dual_fault::HealingPolicy::SpareRows { spares: 8 });
+        assert!(matches!(
+            engine(StreamConfig::new(3)).with_fault_injection(cramped),
+            Err(StreamError::InvalidConfig {
+                name: "fault.plan",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn spare_remap_restores_fault_free_behavior() {
+        // Slot 0's physical row is dead; with spares provisioned the
+        // sense pass remaps it and the stream replays exactly as a
+        // fault-free run.
+        let stream = |mut e: StreamEngine<HdMapper>| {
+            for i in 0..60 {
+                e.push(&point(i)).unwrap();
+                if i % 10 == 9 {
+                    e.tick().unwrap();
+                }
+            }
+            e.drain().unwrap();
+            e.snapshot()
+        };
+        let mut cfg = StreamConfig::new(3);
+        cfg.max_batch = 8;
+        let plain = stream(engine(cfg.clone()));
+        let plan = dual_fault::FaultPlan::fault_free(5, 64)
+            .with_dead_row(0)
+            .unwrap();
+        let mut e = engine(cfg)
+            .with_fault_injection(
+                FaultConfig::new(plan)
+                    .with_policy(dual_fault::HealingPolicy::SpareRows { spares: 2 }),
+            )
+            .unwrap();
+        for i in 0..60 {
+            e.push(&point(i)).unwrap();
+            if i % 10 == 9 {
+                e.tick().unwrap();
+            }
+        }
+        e.drain().unwrap();
+        let status = e.fault_status().unwrap();
+        assert_eq!(status.spares_used, 1, "the dead row was remapped");
+        assert_eq!(status.spares_free, 1);
+        assert_eq!(status.quarantine_trips, 0);
+        assert_eq!(e.snapshot(), plain, "remap hides the dead row fully");
+    }
+
+    #[test]
+    fn quarantine_defers_then_kills_a_dead_shard() {
+        // Slots 0 and 1 (all of shard 0) sit on dead rows with healing
+        // off: the sense pass trips quarantine, the batch defers in
+        // the ring through three backoff/probation cycles, and once
+        // the retry budget is spent the shard dies and the batch
+        // finally processes with shard 0 masked out.
+        let mut cfg = StreamConfig::new(4);
+        cfg.shards = 2;
+        cfg.max_batch = 4;
+        cfg.max_ticks = 1000;
+        let plan = dual_fault::FaultPlan::fault_free(4, 64)
+            .with_dead_row(0)
+            .unwrap()
+            .with_dead_row(1)
+            .unwrap();
+        let mut e = engine(cfg)
+            .with_fault_injection(FaultConfig::new(plan))
+            .unwrap();
+        e.seed_centroids(&[ones(64), ones(64), ones(64), ones(64)])
+            .unwrap();
+        for i in 0..4 {
+            e.push(&point(i)).unwrap();
+        }
+        assert!(e.tick().unwrap().is_empty(), "first cut defers");
+        assert_eq!(e.pending(), 4, "the ring is the requeue buffer");
+        let status = e.fault_status().unwrap();
+        assert_eq!(status.quarantine_trips, 1);
+        assert_eq!(status.quarantined_now, 1);
+        assert!(status.injected > 0, "dead rows corrupt reads");
+
+        let mut costs = Vec::new();
+        for _ in 0..40 {
+            costs.extend(e.tick().unwrap());
+        }
+        assert_eq!(costs.len(), 1, "the deferred batch finally commits");
+        assert_eq!(e.pending(), 0);
+        let status = e.fault_status().unwrap();
+        assert_eq!(status.dead_shards, 1, "retry budget spent");
+        assert_eq!(status.quarantined_now, 0);
+        assert_eq!(status.quarantine_trips, 4, "3 probations + the fatal trip");
+        assert_eq!(status.requeues, 3);
+        let counters = e.counters();
+        assert_eq!(counters.batches, 1);
+        assert_eq!(counters.assigned, 4);
+        // Masked slots received no assignments: their centers are
+        // untouched by the fold/re-binarize stage.
+        assert_eq!(e.model().centroids()[0], ones(64));
+        assert_eq!(e.model().centroids()[1], ones(64));
+    }
+
+    #[test]
+    fn drain_forces_processing_under_quarantine() {
+        let mut cfg = StreamConfig::new(4);
+        cfg.shards = 2;
+        cfg.max_batch = 4;
+        cfg.max_ticks = 1000;
+        let plan = dual_fault::FaultPlan::fault_free(4, 64)
+            .with_dead_row(0)
+            .unwrap()
+            .with_dead_row(1)
+            .unwrap();
+        let mut e = engine(cfg)
+            .with_fault_injection(FaultConfig::new(plan))
+            .unwrap();
+        e.seed_centroids(&[ones(64), ones(64), ones(64), ones(64)])
+            .unwrap();
+        for i in 0..4 {
+            e.push(&point(i)).unwrap();
+        }
+        assert!(e.tick().unwrap().is_empty(), "deferred");
+        let costs = e.drain().unwrap();
+        assert_eq!(costs.len(), 1, "drain overrides the quarantine gate");
+        assert_eq!(e.pending(), 0);
+        let status = e.fault_status().unwrap();
+        assert_eq!(status.quarantined_now, 1, "the shard stays benched");
+        // The benched shard was masked during the drain.
+        assert_eq!(e.model().centroids()[0], ones(64));
+        assert_eq!(e.model().centroids()[1], ones(64));
+    }
+
+    #[test]
+    fn majority_reread_heals_transient_flips_in_stream() {
+        let mut cfg = StreamConfig::new(3);
+        cfg.max_batch = 8;
+        let mut spec = dual_fault::FaultPlanSpec::clean(3, 64);
+        spec.seed = 7;
+        spec.flip_rate = 0.02;
+        let plan = dual_fault::FaultPlan::new(spec).unwrap();
+        let mut fc = FaultConfig::new(plan)
+            .with_policy(dual_fault::HealingPolicy::MajorityReread { reads: 5 });
+        fc.quarantine_threshold = 0.5; // flips alone must not bench shards
+        let mut e = engine(cfg).with_fault_injection(fc).unwrap();
+        for i in 0..200 {
+            e.push(&point(i)).unwrap();
+            if i % 8 == 7 {
+                e.tick().unwrap();
+            }
+        }
+        e.drain().unwrap();
+        let status = e.fault_status().unwrap();
+        assert_eq!(status.reads, 5);
+        assert!(status.injected > 0, "flips land on raw reads");
+        assert!(status.healed > 0, "voting repairs them");
+        assert!(status.healed <= status.injected);
+        assert_eq!(status.quarantine_trips, 0);
+        // The voting price is charged: 5x the Hamming window issues of
+        // an unfaulted run over the same stream.
+        assert!(e.meter().total().time_ns() > 0.0);
+    }
+
+    #[test]
+    fn faulted_snapshots_are_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut cfg = StreamConfig::new(3);
+            cfg.threads = threads;
+            cfg.max_batch = 16;
+            cfg.decay = 0.9;
+            cfg.centroids_per_cluster = 2;
+            let mut spec = dual_fault::FaultPlanSpec::clean(8, 64);
+            spec.seed = 42;
+            spec.stuck_rate = 0.002;
+            spec.flip_rate = 0.01;
+            let plan = dual_fault::FaultPlan::new(spec).unwrap();
+            let mut e = engine(cfg)
+                .with_fault_injection(FaultConfig::new(plan).with_policy(
+                    dual_fault::HealingPolicy::Full {
+                        spares: 2,
+                        reads: 3,
+                    },
+                ))
+                .unwrap();
+            for i in 0..100 {
+                e.push(&point(i)).unwrap();
+                if i % 10 == 9 {
+                    e.tick().unwrap();
+                }
+            }
+            e.drain().unwrap();
+            (e.snapshot(), e.fault_status().unwrap())
+        };
+        let (gold_snap, gold_status) = run(1);
+        assert!(gold_status.injected > 0, "faults actually fired");
+        for threads in [0, 2, 3, 8] {
+            let (snap, status) = run(threads);
+            assert_eq!(snap.clusters, gold_snap.clusters, "threads={threads}");
+            assert_eq!(snap.counters, gold_snap.counters, "threads={threads}");
+            assert_eq!(snap.energy_pj.to_bits(), gold_snap.energy_pj.to_bits());
+            assert_eq!(status, gold_status, "threads={threads}");
+        }
     }
 
     #[test]

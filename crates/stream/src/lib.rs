@@ -29,6 +29,13 @@
 //!   searched through the [`ShardedIndex`].
 //! * **Attribution** — every committed batch is priced on the paper's
 //!   chip cost model via `dual_pim::StreamMeter`.
+//! * **Fault tolerance** (opt-in) — [`StreamEngine::with_fault_injection`]
+//!   senses stored sub-centroids through a deterministic
+//!   `dual_fault::FaultPlan` before every assignment, remaps dead rows
+//!   into a bounded spare pool, majority-votes re-reads, and
+//!   quarantines shards whose observed corruption exceeds a threshold
+//!   (their batches defer in the ring and requeue after an
+//!   exponential backoff on the logical tick clock).
 //!
 //! ## Determinism contract
 //!
@@ -81,7 +88,9 @@ mod online;
 mod ring;
 
 pub use batcher::{Batcher, CutReason};
-pub use engine::{StreamConfig, StreamCounters, StreamEngine, StreamSnapshot};
+pub use engine::{
+    FaultConfig, FaultStatus, StreamConfig, StreamCounters, StreamEngine, StreamSnapshot,
+};
 pub use error::StreamError;
 pub use index::ShardedIndex;
 pub use online::{BatchUpdate, OnlineKMeans};

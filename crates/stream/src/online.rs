@@ -224,6 +224,90 @@ impl OnlineKMeans {
             "batch hypervector dimensionality differs from model dim"
         );
         let mut update = BatchUpdate::default();
+        self.seed_from(encoded, &mut update);
+        self.decay_all();
+        update.assignments = self.index.assign(encoded, threads);
+        self.fold(encoded, &mut update);
+        update
+    }
+
+    /// [`OnlineKMeans::observe_batch`] with a fault-injected *sense*
+    /// stage: the assignment step searches the centroid array as seen
+    /// through `sense(slot, stored)` instead of the pristine storage.
+    ///
+    /// `sense` returns the (possibly corrupted) hypervector the match
+    /// lines observe for a stored slot, or `None` when the slot is
+    /// unavailable (its shard is dead) and must be excluded from
+    /// assignment. Slots seeded *by this batch* are sensed pristine —
+    /// they were written this tick and the first faulty read happens on
+    /// the next batch. If `sense` excludes every slot the model falls
+    /// back to the pristine index (total array loss is outside the
+    /// degradation model).
+    ///
+    /// The accumulate and re-binarize stages always run against the
+    /// pristine storage: corruption is a read-path phenomenon, and the
+    /// majority rewrite is exactly the mechanism that heals stored
+    /// centers. `sense` is called serially in slot order, so
+    /// determinism is inherited from the caller's epoch keying.
+    ///
+    /// # Panics
+    ///
+    /// As [`OnlineKMeans::observe_batch`]; additionally if `sense`
+    /// returns a hypervector of a different dimensionality.
+    pub fn observe_batch_sensed<F>(
+        &mut self,
+        encoded: &[Hypervector],
+        threads: usize,
+        mut sense: F,
+    ) -> BatchUpdate
+    where
+        F: FnMut(usize, &Hypervector) -> Option<Hypervector>,
+    {
+        if encoded.is_empty() {
+            return BatchUpdate::default();
+        }
+        assert!(
+            encoded.iter().all(|h| h.dim() == self.dim),
+            "batch hypervector dimensionality differs from model dim"
+        );
+        let mut update = BatchUpdate::default();
+        let pre_seeded = self.seeded();
+        self.seed_from(encoded, &mut update);
+        self.decay_all();
+
+        let mut sensed: Vec<Hypervector> = Vec::with_capacity(self.index.len());
+        let mut map: Vec<usize> = Vec::with_capacity(self.index.len());
+        for (slot, stored) in self.index.centroids().iter().enumerate() {
+            let view = if slot < pre_seeded {
+                sense(slot, stored)
+            } else {
+                Some(stored.clone()) // freshly seeded this batch
+            };
+            if let Some(hv) = view {
+                assert!(
+                    hv.dim() == self.dim,
+                    "sensed centroid dimensionality differs from model dim"
+                );
+                map.push(slot);
+                sensed.push(hv);
+            }
+        }
+        update.assignments = if sensed.is_empty() {
+            self.index.assign(encoded, threads)
+        } else {
+            let view = ShardedIndex::new(sensed, self.index.shards());
+            view.assign(encoded, threads)
+                .into_iter()
+                .map(|(i, d)| (map[i], d))
+                .collect()
+        };
+
+        self.fold(encoded, &mut update);
+        update
+    }
+
+    /// Stage 1: copy the batch's leading points into unseeded slots.
+    fn seed_from(&mut self, encoded: &[Hypervector], update: &mut BatchUpdate) {
         for p in encoded {
             if self.is_fully_seeded() {
                 break;
@@ -232,10 +316,18 @@ impl OnlineKMeans {
             self.accumulators.push(CentroidAccumulator::new(self.dim));
             update.seeded += 1;
         }
+    }
+
+    /// Stage 2: fade every accumulator by the forgetting factor.
+    fn decay_all(&mut self) {
         for acc in &mut self.accumulators {
             acc.decay(self.decay);
         }
-        update.assignments = self.index.assign(encoded, threads);
+    }
+
+    /// Stages 4–5: fold assigned points into their winners'
+    /// accumulators and majority-rewrite every touched center.
+    fn fold(&mut self, encoded: &[Hypervector], update: &mut BatchUpdate) {
         for (p, &(slot, _)) in encoded.iter().zip(&update.assignments) {
             self.accumulators[slot].add(p);
         }
@@ -246,7 +338,6 @@ impl OnlineKMeans {
             }
         }
         self.batches_observed += 1;
-        update
     }
 }
 
@@ -354,6 +445,53 @@ mod tests {
         assert_eq!(clusters[1].len(), 1); // slot 1
         assert_eq!(clusters[0][0], m.centroids()[0]);
         assert_eq!(clusters[0][1], m.centroids()[2]);
+    }
+
+    #[test]
+    fn sensed_identity_matches_plain_observe() {
+        let points = pool(30, 64, 21);
+        let mut plain = OnlineKMeans::new(64, 3, 2, 0.7, 2);
+        let mut sensed = plain.clone();
+        for chunk in points.chunks(10) {
+            let a = plain.observe_batch(chunk, 2);
+            let b = sensed.observe_batch_sensed(chunk, 2, |_, hv| Some(hv.clone()));
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain, sensed);
+    }
+
+    #[test]
+    fn sensed_exclusion_masks_slots_from_assignment() {
+        let centers = pool(4, 64, 33);
+        let mut m = OnlineKMeans::new(64, 4, 1, 1.0, 2);
+        m.seed(&centers).unwrap();
+        // Query exactly center 1, but sense slot 1 as unavailable: the
+        // point must land on some other slot.
+        let up = m.observe_batch_sensed(std::slice::from_ref(&centers[1]), 1, |slot, hv| {
+            (slot != 1).then(|| hv.clone())
+        });
+        assert_ne!(up.assignments[0].0, 1);
+        // With every slot excluded, assignment falls back to pristine.
+        let mut m2 = OnlineKMeans::new(64, 4, 1, 1.0, 2);
+        m2.seed(&centers).unwrap();
+        let up2 = m2.observe_batch_sensed(std::slice::from_ref(&centers[1]), 1, |_, _| None);
+        assert_eq!(up2.assignments[0], (1, 0));
+    }
+
+    #[test]
+    fn sensed_corruption_degrades_then_rebinarize_heals_storage() {
+        // Sense slot 0 as all-zeros: a query equal to slot 0's stored
+        // ones-vector gets misrouted, but storage stays pristine.
+        let ones = Hypervector::from_bitvec(dual_hdc::BitVec::ones(32));
+        let zeros = Hypervector::zeros(32);
+        let mut m = OnlineKMeans::new(32, 2, 1, 1.0, 1);
+        m.seed(&[ones.clone(), zeros.clone()]).unwrap();
+        let up = m.observe_batch_sensed(std::slice::from_ref(&ones), 1, |slot, hv| {
+            Some(if slot == 0 { zeros.clone() } else { hv.clone() })
+        });
+        // Both sensed slots look identical (all zeros); tie-break low.
+        assert_eq!(up.assignments[0].0, 0);
+        assert_eq!(m.centroids()[0], ones, "storage is not corrupted");
     }
 
     #[test]
