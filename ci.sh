@@ -21,10 +21,11 @@
 #   obs          dual-obs overhead smoke + byte-stable obs snapshot diff
 #   fault        fault-degradation sweep, diffed against the committed report
 #   determinism  seed x DUAL_THREADS matrix: reports must be byte-identical
+#   recovery     crash/restore/replay harness across DUAL_THREADS, byte-diffed
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(build test doc clippy fmt lint bench obs fault determinism)
+ALL_STAGES=(build test doc clippy fmt lint bench obs fault determinism recovery)
 
 # ---------------------------------------------------------------- stages
 
@@ -124,6 +125,29 @@ stage_determinism() {
       || { echo "throughput report diverged at DUAL_THREADS=$threads"; return 1; }
   done
   echo "    snapshots byte-identical across DUAL_THREADS in {0, 2, 8}"
+  rm -rf "$tmp"
+}
+
+stage_recovery() {
+  local tmp
+  tmp=$(mktemp -d)
+  echo "--- recovery_harness: kill x policy sweep under DUAL_THREADS in {0, 2, 8}"
+  # The harness itself asserts every (policy, kill_tick) cell restores
+  # and replays to a bit-identical end state; the sweep here pins the
+  # report bytes across thread counts and against the committed
+  # artifact.
+  for threads in 0 2 8; do
+    DUAL_THREADS=$threads cargo run -q -p dual-bench --release --bin recovery_harness -- \
+      --out "$tmp/recovery_$threads.json" >/dev/null
+    echo "    DUAL_THREADS=$threads ok"
+  done
+  for threads in 2 8; do
+    diff "$tmp/recovery_0.json" "$tmp/recovery_$threads.json" \
+      || { echo "recovery report diverged at DUAL_THREADS=$threads"; return 1; }
+  done
+  diff "$tmp/recovery_0.json" results/recovery_report.json \
+    || { echo "recovery_report.json drifted: regenerate and commit it"; return 1; }
+  echo "    reports byte-identical across DUAL_THREADS in {0, 2, 8}"
   rm -rf "$tmp"
 }
 

@@ -45,10 +45,26 @@ impl CentroidAccumulator {
         }
     }
 
+    /// Rebuild an accumulator from previously exported state — the
+    /// snapshot-restore path. `counts` and `weight` are taken verbatim
+    /// (bit-for-bit), so a restored accumulator votes exactly like the
+    /// one [`Self::counts`]/[`Self::weight`] were read from.
+    #[must_use]
+    pub fn from_parts(counts: Vec<f64>, weight: f64) -> Self {
+        Self { counts, weight }
+    }
+
     /// Dimensionality `D` of the accumulated hypervectors.
     #[must_use]
     pub fn dim(&self) -> usize {
         self.counts.len()
+    }
+
+    /// The decayed per-dimension one-counts (the numerators of the
+    /// majority vote), for snapshotting.
+    #[must_use]
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
     }
 
     /// Decayed member weight (the denominator of the majority vote).

@@ -108,6 +108,46 @@ impl SpareRowPool {
         }
     }
 
+    /// Rebuild a pool mid-flight from previously exported state — the
+    /// snapshot-restore path. `map` holds the live (logical row →
+    /// physical spare) remaps and `next` the allocation cursor, both
+    /// taken verbatim so a restored pool hands out exactly the spares
+    /// the snapshotted one would have.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `next` exceeds `total` (the caller validates decoded
+    /// snapshots before reconstructing).
+    #[must_use]
+    pub fn restore(base: usize, total: usize, next: usize, map: BTreeMap<usize, usize>) -> Self {
+        assert!(next <= total, "allocation cursor past the pool bound");
+        Self {
+            base,
+            total,
+            next,
+            map,
+        }
+    }
+
+    /// First physical spare row of the pool.
+    #[must_use]
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Spare allocation cursor (consumed spares, including skipped
+    /// faulty ones), for snapshotting.
+    #[must_use]
+    pub fn cursor(&self) -> usize {
+        self.next
+    }
+
+    /// The live (logical row → physical spare row) remaps in ascending
+    /// logical-row order, for snapshotting.
+    pub fn remaps(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+
     /// Spares handed out so far.
     #[must_use]
     pub fn used(&self) -> usize {

@@ -92,6 +92,54 @@ impl Quarantine {
         }
     }
 
+    /// Rebuild a machine mid-flight from previously exported state —
+    /// the snapshot-restore path. `shards`, `trips`, and `stats` are
+    /// taken verbatim, so backoff clocks and retry budgets continue
+    /// exactly where the snapshotted machine stood.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` and `trips` disagree in length (the caller
+    /// validates decoded snapshots before reconstructing).
+    #[must_use]
+    pub fn restore(
+        config: QuarantineConfig,
+        shards: Vec<ShardHealth>,
+        trips: Vec<u32>,
+        stats: QuarantineStats,
+    ) -> Self {
+        assert_eq!(
+            shards.len(),
+            trips.len(),
+            "shard and trip vectors must be index-aligned"
+        );
+        Self {
+            shards,
+            trips,
+            config,
+            stats,
+        }
+    }
+
+    /// Per-shard health machines in shard order, for snapshotting.
+    #[must_use]
+    pub fn health_states(&self) -> &[ShardHealth] {
+        &self.shards
+    }
+
+    /// Per-shard quarantine trip counts in shard order, for
+    /// snapshotting.
+    #[must_use]
+    pub fn trip_counts(&self) -> &[u32] {
+        &self.trips
+    }
+
+    /// The retry/backoff budget the machine was built with.
+    #[must_use]
+    pub fn config(&self) -> QuarantineConfig {
+        self.config
+    }
+
     /// Shard population.
     #[must_use]
     pub fn len(&self) -> usize {

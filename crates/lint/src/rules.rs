@@ -131,10 +131,12 @@ pub struct RuleConfig {
 impl Default for RuleConfig {
     fn default() -> Self {
         Self {
-            result_crates: ["pim", "cluster", "core", "hdc", "stream", "obs", "fault"]
-                .iter()
-                .map(ToString::to_string)
-                .collect(),
+            result_crates: [
+                "pim", "cluster", "core", "hdc", "stream", "obs", "fault", "snap",
+            ]
+            .iter()
+            .map(ToString::to_string)
+            .collect(),
             cast_audited_files: [
                 "crates/pim/src/arch.rs",
                 "crates/pim/src/cost.rs",

@@ -135,9 +135,9 @@ pub enum Kind {
 }
 
 /// Number of counter slots.
-pub(crate) const N_COUNTERS: usize = 28;
+pub(crate) const N_COUNTERS: usize = 30;
 /// Number of gauge slots.
-pub(crate) const N_GAUGES: usize = 26;
+pub(crate) const N_GAUGES: usize = 28;
 /// Number of histogram slots.
 pub(crate) const N_HISTS: usize = 5;
 
@@ -205,6 +205,12 @@ pub enum Key {
     /// Fault: quarantined shards released back to service (work
     /// requeued).
     FaultRequeued,
+    /// Snap: write-ahead snapshots captured (periodic + explicit).
+    SnapCaptured,
+    /// Snap: engines restored from a snapshot. **Unstable**: a property
+    /// of the process run (a restored run counts one, the uninterrupted
+    /// run it replays counts zero), not of the workload.
+    SnapRestored,
     // ---- gauges ---------------------------------------------------------
     /// Modeled chip latency of one pipeline stage, nanoseconds.
     PhaseTimeNs(Stage),
@@ -225,6 +231,10 @@ pub enum Key {
     /// Reads per cell the active healing policy performs (1 = voting
     /// off).
     FaultRereadReads,
+    /// Encoded size of the most recent snapshot, bytes.
+    SnapBytes,
+    /// Logical tick the most recent snapshot captured.
+    SnapLastTick,
     // ---- histograms -----------------------------------------------------
     /// Points per committed stream micro-batch.
     StreamBatchPoints,
@@ -270,6 +280,8 @@ impl Key {
         Key::FaultHealed,
         Key::FaultQuarantined,
         Key::FaultRequeued,
+        Key::SnapCaptured,
+        Key::SnapRestored,
         Key::PhaseTimeNs(Stage::Encoding),
         Key::PhaseTimeNs(Stage::Hamming),
         Key::PhaseTimeNs(Stage::Accumulate),
@@ -296,6 +308,8 @@ impl Key {
         Key::FaultSpareFree,
         Key::FaultQuarantineActive,
         Key::FaultRereadReads,
+        Key::SnapBytes,
+        Key::SnapLastTick,
         Key::StreamBatchPoints,
         Key::SpanKmeansFit,
         Key::SpanDbscanFit,
@@ -335,6 +349,8 @@ impl Key {
             Self::FaultHealed => (Kind::Counter, 25),
             Self::FaultQuarantined => (Kind::Counter, 26),
             Self::FaultRequeued => (Kind::Counter, 27),
+            Self::SnapCaptured => (Kind::Counter, 28),
+            Self::SnapRestored => (Kind::Counter, 29),
             Self::PhaseTimeNs(s) => (Kind::Gauge, s.index()),
             Self::PhaseEnergyPj(s) => (Kind::Gauge, Stage::ALL.len() + s.index()),
             Self::PimTimeNs => (Kind::Gauge, 12),
@@ -344,6 +360,8 @@ impl Key {
             Self::FaultSpareFree => (Kind::Gauge, 23),
             Self::FaultQuarantineActive => (Kind::Gauge, 24),
             Self::FaultRereadReads => (Kind::Gauge, 25),
+            Self::SnapBytes => (Kind::Gauge, 26),
+            Self::SnapLastTick => (Kind::Gauge, 27),
             Self::StreamBatchPoints => (Kind::Histogram, 0),
             Self::SpanKmeansFit => (Kind::Histogram, 1),
             Self::SpanDbscanFit => (Kind::Histogram, 2),
@@ -390,6 +408,8 @@ impl Key {
             Self::FaultHealed => "fault.healed",
             Self::FaultQuarantined => "fault.quarantined",
             Self::FaultRequeued => "fault.requeued",
+            Self::SnapCaptured => "snap.captured",
+            Self::SnapRestored => "snap.restored",
             Self::PhaseTimeNs(s) => match s {
                 Stage::Encoding => "phase.encoding.time_ns",
                 Stage::Hamming => "phase.hamming.time_ns",
@@ -422,6 +442,8 @@ impl Key {
             Self::FaultSpareFree => "fault.spare.free",
             Self::FaultQuarantineActive => "fault.quarantine.active",
             Self::FaultRereadReads => "fault.reread.reads",
+            Self::SnapBytes => "snap.bytes",
+            Self::SnapLastTick => "snap.last_tick",
             Self::StreamBatchPoints => "stream.batch_points",
             Self::SpanKmeansFit => "span.kmeans_fit",
             Self::SpanDbscanFit => "span.dbscan_fit",
@@ -439,7 +461,7 @@ impl Key {
     pub fn stable(self) -> bool {
         !matches!(
             self,
-            Self::HdcTopKPushes | Self::PoolTasks | Self::BenchWallNs
+            Self::HdcTopKPushes | Self::PoolTasks | Self::BenchWallNs | Self::SnapRestored
         )
     }
 }
@@ -509,11 +531,16 @@ mod tests {
     }
 
     #[test]
-    fn unstable_keys_are_exactly_the_documented_three() {
+    fn unstable_keys_are_exactly_the_documented_four() {
         let unstable: Vec<Key> = Key::ALL.iter().copied().filter(|k| !k.stable()).collect();
         assert_eq!(
             unstable,
-            [Key::HdcTopKPushes, Key::PoolTasks, Key::BenchWallNs]
+            [
+                Key::HdcTopKPushes,
+                Key::PoolTasks,
+                Key::SnapRestored,
+                Key::BenchWallNs
+            ]
         );
     }
 }

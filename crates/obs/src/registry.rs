@@ -171,6 +171,22 @@ impl Registry {
         self.clock.fetch_add(ticks, Ordering::Relaxed) + ticks
     }
 
+    /// Overwrite a histogram key's buckets and moments from a snapshot —
+    /// the snapshot-restore path. Counters and gauges restore through
+    /// [`Registry::add`]/[`Registry::gauge`] on a fresh registry;
+    /// histograms need this store because bucket state is otherwise
+    /// only reachable one observation at a time.
+    pub fn restore_histogram(&self, key: Key, snap: &HistogramSnapshot) {
+        if let (Kind::Histogram, slot) = key.slot() {
+            let h = &self.hists[slot];
+            for (dst, &src) in h.buckets.iter().zip(&snap.buckets) {
+                dst.store(src, Ordering::Relaxed);
+            }
+            h.sum.store(snap.sum, Ordering::Relaxed);
+            h.count.store(snap.count, Ordering::Relaxed);
+        }
+    }
+
     /// Current logical time.
     #[must_use]
     pub fn now(&self) -> u64 {

@@ -135,6 +135,26 @@ impl WearLeveler {
         }
     }
 
+    /// Rebuild a leveler from previously exported per-block write
+    /// counts — the snapshot-restore path. Counts are taken verbatim,
+    /// so block rotation continues exactly where the snapshotted
+    /// leveler stood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writes` is empty.
+    #[must_use]
+    pub fn restore(writes: Vec<u64>) -> Self {
+        assert!(!writes.is_empty(), "need at least one block");
+        Self { writes }
+    }
+
+    /// Cumulative writes per block in block order, for snapshotting.
+    #[must_use]
+    pub fn writes(&self) -> &[u64] {
+        &self.writes
+    }
+
     /// The block the controller should use for the next write-heavy
     /// role: the least-worn one (ties break to the lowest index).
     #[must_use]

@@ -129,6 +129,18 @@ impl EnergyStats {
         self.energy_pj += energy_pj;
     }
 
+    /// Add `count` issues of `op` to the ledger **without** charging
+    /// latency or energy — the snapshot-restore path, where the totals
+    /// arrive bit-exact through [`EnergyStats::record_raw`] and the op
+    /// counts must be replayed verbatim rather than re-priced (pricing
+    /// would accumulate the totals in a different addition order).
+    pub fn record_untimed(&mut self, op: Op, count: u64) {
+        if count == 0 {
+            return;
+        }
+        *self.counts.entry(op).or_default() += count;
+    }
+
     /// Sequential composition: `self` then `other`.
     pub fn merge_serial(&mut self, other: &Self) {
         self.time_ns += other.time_ns;

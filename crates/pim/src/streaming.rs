@@ -85,6 +85,30 @@ impl StreamMeter {
         &self.model
     }
 
+    /// Rebuild a meter from previously exported state — the
+    /// snapshot-restore path. `total` (with its bit-exact running
+    /// sums), `batches`, `points`, and `last` are taken verbatim; the
+    /// open batch starts empty, which matches any snapshot taken
+    /// between batch commits (the engine records and commits within a
+    /// single cut).
+    #[must_use]
+    pub fn restore(
+        model: CostModel,
+        total: EnergyStats,
+        batches: u64,
+        points: u64,
+        last: Option<StreamBatchCost>,
+    ) -> Self {
+        Self {
+            model,
+            open: EnergyStats::new(),
+            total,
+            batches,
+            points,
+            last,
+        }
+    }
+
     /// Record one serial op against the open batch.
     pub fn record(&mut self, op: Op) {
         let model = self.model;

@@ -1,0 +1,191 @@
+//! Little-endian byte codec: an appending writer and a bounds-checked
+//! cursor reader. Every read is guarded — the reader returns
+//! [`SnapError`] instead of slicing out of range, so arbitrary garbage
+//! can never make the decoder panic.
+
+use crate::error::SnapError;
+
+/// Appending little-endian writer. Field order is the wire format:
+/// encode and decode must visit fields in exactly the same sequence.
+#[derive(Debug, Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Count-prefixed `u64` sequence.
+    pub(crate) fn put_u64_vec(&mut self, v: &[u64]) {
+        self.put_u64(len_u64(v.len()));
+        for &x in v {
+            self.put_u64(x);
+        }
+    }
+}
+
+/// `usize` length → wire `u64` (lossless on every supported target).
+pub(crate) fn len_u64(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
+/// Bounds-checked cursor over an untrusted byte slice.
+#[derive(Debug)]
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated {
+                needed: n,
+                got: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, SnapError> {
+        let s = self.take(4)?;
+        let arr: [u8; 4] = s.try_into().map_err(|_| SnapError::Corrupt {
+            reason: "u32 slice length",
+        })?;
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, SnapError> {
+        let s = self.take(8)?;
+        let arr: [u8; 8] = s.try_into().map_err(|_| SnapError::Corrupt {
+            reason: "u64 slice length",
+        })?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Read a count prefix for items of `item_bytes` each, refusing
+    /// counts the remaining buffer cannot possibly hold (so a flipped
+    /// length bit cannot trigger a giant allocation).
+    pub(crate) fn count(&mut self, item_bytes: usize) -> Result<usize, SnapError> {
+        let raw = self.u64()?;
+        let n = usize::try_from(raw).map_err(|_| SnapError::Corrupt {
+            reason: "count overflows usize",
+        })?;
+        let needed = n.checked_mul(item_bytes).ok_or(SnapError::Corrupt {
+            reason: "count overflows usize",
+        })?;
+        if needed > self.remaining() {
+            return Err(SnapError::Truncated {
+                needed,
+                got: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Count-prefixed `u64` sequence.
+    pub(crate) fn u64_vec(&mut self) -> Result<Vec<u64>, SnapError> {
+        let n = self.count(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` — the frame checksum. Not cryptographic;
+/// it exists to turn accidental corruption (truncation survivors, bit
+/// flips) into a typed decode error.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_vecs() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_u64_vec(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.u64_vec().unwrap(), vec![1, 2, 3]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn reads_past_the_end_are_typed_errors() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert!(matches!(
+            r.u64(),
+            Err(SnapError::Truncated { needed: 8, got: 3 })
+        ));
+        // The failed read consumed nothing.
+        assert_eq!(r.remaining(), 3);
+    }
+
+    #[test]
+    fn absurd_counts_are_rejected_before_allocating() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX); // count claiming ~2^64 entries
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.u64_vec().is_err());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,559 @@
+//! The snapshot state tree: plain-data mirrors of every mutable piece
+//! of a `StreamEngine`, plus their wire encodings.
+//!
+//! These structs carry **bit representations**, not live objects:
+//! `f64`s travel as `to_bits()` words so a snapshot→restore→replay run
+//! is bit-for-bit identical to the uninterrupted one, and enum states
+//! travel as documented tags so the format has no dependency on any
+//! other crate's layout. `dual-stream` owns the mapping between live
+//! engine types and this tree.
+
+use crate::codec::{len_u64, Reader, Writer};
+use crate::error::SnapError;
+
+/// Engine configuration, recorded so a restore can rebuild the exact
+/// `StreamConfig` and validate the caller-supplied encoder geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigState {
+    /// Hypervector dimensionality of the encoder.
+    pub dim: u64,
+    /// Input feature count of the encoder.
+    pub n_features: u64,
+    /// Ring capacity.
+    pub capacity: u64,
+    /// Backpressure policy tag: 0 = Block, 1 = DropOldest, 2 = Reject.
+    pub policy: u8,
+    /// Batch size threshold.
+    pub max_batch: u64,
+    /// Deadline in logical ticks.
+    pub max_ticks: u64,
+    /// Number of clusters.
+    pub k: u64,
+    /// Sub-centroid slots per cluster.
+    pub centroids_per_cluster: u64,
+    /// Accumulator decay factor, as `f64::to_bits`.
+    pub decay_bits: u64,
+    /// Index shard count.
+    pub shards: u64,
+    /// Configured worker thread count (0 = auto).
+    pub threads: u64,
+    /// Periodic write-ahead snapshot interval in ticks (0 = off).
+    pub snapshot_every: u64,
+}
+
+impl ConfigState {
+    fn encode_into(&self, w: &mut Writer) {
+        w.put_u64(self.dim);
+        w.put_u64(self.n_features);
+        w.put_u64(self.capacity);
+        w.put_u8(self.policy);
+        w.put_u64(self.max_batch);
+        w.put_u64(self.max_ticks);
+        w.put_u64(self.k);
+        w.put_u64(self.centroids_per_cluster);
+        w.put_u64(self.decay_bits);
+        w.put_u64(self.shards);
+        w.put_u64(self.threads);
+        w.put_u64(self.snapshot_every);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            dim: r.u64()?,
+            n_features: r.u64()?,
+            capacity: r.u64()?,
+            policy: r.u8()?,
+            max_batch: r.u64()?,
+            max_ticks: r.u64()?,
+            k: r.u64()?,
+            centroids_per_cluster: r.u64()?,
+            decay_bits: r.u64()?,
+            shards: r.u64()?,
+            threads: r.u64()?,
+            snapshot_every: r.u64()?,
+        })
+    }
+}
+
+/// Online k-means learning state: seeded slots and their decayed
+/// accumulators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelState {
+    /// Batches the model has observed (drives seeding behaviour).
+    pub batches_observed: u64,
+    /// Bit-packed hypervector words of each seeded sub-centroid slot,
+    /// in slot order.
+    pub centroids: Vec<Vec<u64>>,
+    /// Per-slot accumulator bit counts, each entry `f64::to_bits`.
+    pub acc_counts: Vec<Vec<u64>>,
+    /// Per-slot accumulator weights, as `f64::to_bits`.
+    pub acc_weights: Vec<u64>,
+}
+
+impl ModelState {
+    fn encode_into(&self, w: &mut Writer) {
+        w.put_u64(self.batches_observed);
+        w.put_u64(len_u64(self.centroids.len()));
+        for c in &self.centroids {
+            w.put_u64_vec(c);
+        }
+        w.put_u64(len_u64(self.acc_counts.len()));
+        for c in &self.acc_counts {
+            w.put_u64_vec(c);
+        }
+        w.put_u64_vec(&self.acc_weights);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let batches_observed = r.u64()?;
+        // Each element is itself length-prefixed: 8 bytes minimum.
+        let n = r.count(8)?;
+        let mut centroids = Vec::with_capacity(n);
+        for _ in 0..n {
+            centroids.push(r.u64_vec()?);
+        }
+        let n = r.count(8)?;
+        let mut acc_counts = Vec::with_capacity(n);
+        for _ in 0..n {
+            acc_counts.push(r.u64_vec()?);
+        }
+        let acc_weights = r.u64_vec()?;
+        Ok(Self {
+            batches_observed,
+            centroids,
+            acc_counts,
+            acc_weights,
+        })
+    }
+}
+
+/// One priced-operation ledger entry: a `dual_pim::Op` flattened to a
+/// `(tag, bits)` pair plus its issue count.
+///
+/// Tags: 0 HammingWindow, 1 NearestStage, 2 Add, 3 Sub, 4 Mul, 5 Div,
+/// 6 Transfer, 7 Write. `bits` is 0 for the un-parameterised ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCount {
+    /// Operation tag (see type docs).
+    pub tag: u8,
+    /// Bit-width parameter of the op, 0 when not applicable.
+    pub bits: u32,
+    /// Times the op was issued.
+    pub count: u64,
+}
+
+/// A committed batch cost, bit-preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchCostState {
+    /// 1-based batch sequence number.
+    pub batch: u64,
+    /// Points the batch carried.
+    pub points: u64,
+    /// Modeled latency, as `f64::to_bits`.
+    pub time_ns_bits: u64,
+    /// Modeled energy, as `f64::to_bits`.
+    pub energy_pj_bits: u64,
+}
+
+/// The stream meter's committed energy ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeterState {
+    /// Total modeled latency, as `f64::to_bits`.
+    pub time_ns_bits: u64,
+    /// Total modeled energy, as `f64::to_bits`.
+    pub energy_pj_bits: u64,
+    /// Per-op issue counts, in the meter's (ordered) iteration order.
+    pub ops: Vec<OpCount>,
+    /// Committed batches.
+    pub batches: u64,
+    /// Committed points.
+    pub points: u64,
+    /// The most recent committed batch cost, if any.
+    pub last: Option<BatchCostState>,
+}
+
+impl MeterState {
+    fn encode_into(&self, w: &mut Writer) {
+        w.put_u64(self.time_ns_bits);
+        w.put_u64(self.energy_pj_bits);
+        w.put_u64(len_u64(self.ops.len()));
+        for op in &self.ops {
+            w.put_u8(op.tag);
+            w.put_u32(op.bits);
+            w.put_u64(op.count);
+        }
+        w.put_u64(self.batches);
+        w.put_u64(self.points);
+        match self.last {
+            None => w.put_u8(0),
+            Some(c) => {
+                w.put_u8(1);
+                w.put_u64(c.batch);
+                w.put_u64(c.points);
+                w.put_u64(c.time_ns_bits);
+                w.put_u64(c.energy_pj_bits);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let time_ns_bits = r.u64()?;
+        let energy_pj_bits = r.u64()?;
+        let n = r.count(13)?; // 1 + 4 + 8 bytes per entry
+        let mut ops = Vec::with_capacity(n);
+        for _ in 0..n {
+            ops.push(OpCount {
+                tag: r.u8()?,
+                bits: r.u32()?,
+                count: r.u64()?,
+            });
+        }
+        let batches = r.u64()?;
+        let points = r.u64()?;
+        let last = match r.u8()? {
+            0 => None,
+            1 => Some(BatchCostState {
+                batch: r.u64()?,
+                points: r.u64()?,
+                time_ns_bits: r.u64()?,
+                energy_pj_bits: r.u64()?,
+            }),
+            _ => {
+                return Err(SnapError::Corrupt {
+                    reason: "meter last-batch tag",
+                })
+            }
+        };
+        Ok(Self {
+            time_ns_bits,
+            energy_pj_bits,
+            ops,
+            batches,
+            points,
+            last,
+        })
+    }
+}
+
+/// One histogram's buckets and moments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistState {
+    /// Bucket hit counts (fixed bucket layout of the obs registry).
+    pub buckets: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// The observability registry: logical clock, counters, gauges (as
+/// `f64::to_bits`), and histograms, each in metric slot order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsState {
+    /// Logical clock ticks.
+    pub clock: u64,
+    /// Counter values by counter slot.
+    pub counters: Vec<u64>,
+    /// Gauge values by gauge slot, as `f64::to_bits`.
+    pub gauges: Vec<u64>,
+    /// Histograms by histogram slot.
+    pub hists: Vec<HistState>,
+}
+
+impl ObsState {
+    fn encode_into(&self, w: &mut Writer) {
+        w.put_u64(self.clock);
+        w.put_u64_vec(&self.counters);
+        w.put_u64_vec(&self.gauges);
+        w.put_u64(len_u64(self.hists.len()));
+        for h in &self.hists {
+            w.put_u64_vec(&h.buckets);
+            w.put_u64(h.sum);
+            w.put_u64(h.count);
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let clock = r.u64()?;
+        let counters = r.u64_vec()?;
+        let gauges = r.u64_vec()?;
+        // Each histogram is at least its three length/moment words.
+        let n = r.count(24)?;
+        let mut hists = Vec::with_capacity(n);
+        for _ in 0..n {
+            hists.push(HistState {
+                buckets: r.u64_vec()?,
+                sum: r.u64()?,
+                count: r.u64()?,
+            });
+        }
+        Ok(Self {
+            clock,
+            counters,
+            gauges,
+            hists,
+        })
+    }
+}
+
+/// Identity of the fault-injection setup the snapshot was taken under.
+///
+/// A restore re-supplies the live `FaultPlan`/policy (they are pure
+/// seeded configuration, not state); this fingerprint lets the restore
+/// path reject a mismatched re-supply with a typed error instead of
+/// silently diverging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultFingerprint {
+    /// Healing policy tag: 0 Off, 1 SpareRows, 2 MajorityReread, 3 Full.
+    pub policy_tag: u8,
+    /// Spare rows of the policy (0 when not applicable).
+    pub spares: u64,
+    /// Re-read count of the policy (0 when not applicable).
+    pub reads: u64,
+    /// Quarantine retry budget.
+    pub retry_budget: u64,
+    /// Quarantine base backoff in ticks.
+    pub base_backoff_ticks: u64,
+    /// Quarantine backoff multiplier.
+    pub backoff_factor: u64,
+    /// Quarantine corruption threshold, as `f64::to_bits`.
+    pub threshold_bits: u64,
+    /// Fault plan RNG seed.
+    pub plan_seed: u64,
+    /// Fault plan rows.
+    pub plan_rows: u64,
+    /// Fault plan columns.
+    pub plan_cols: u64,
+    /// Stuck-cell rate, as `f64::to_bits`.
+    pub stuck_rate_bits: u64,
+    /// Dead-row rate, as `f64::to_bits`.
+    pub dead_row_rate_bits: u64,
+    /// Transient flip rate, as `f64::to_bits`.
+    pub flip_rate_bits: u64,
+}
+
+impl FaultFingerprint {
+    fn encode_into(&self, w: &mut Writer) {
+        w.put_u8(self.policy_tag);
+        w.put_u64(self.spares);
+        w.put_u64(self.reads);
+        w.put_u64(self.retry_budget);
+        w.put_u64(self.base_backoff_ticks);
+        w.put_u64(self.backoff_factor);
+        w.put_u64(self.threshold_bits);
+        w.put_u64(self.plan_seed);
+        w.put_u64(self.plan_rows);
+        w.put_u64(self.plan_cols);
+        w.put_u64(self.stuck_rate_bits);
+        w.put_u64(self.dead_row_rate_bits);
+        w.put_u64(self.flip_rate_bits);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            policy_tag: r.u8()?,
+            spares: r.u64()?,
+            reads: r.u64()?,
+            retry_budget: r.u64()?,
+            base_backoff_ticks: r.u64()?,
+            backoff_factor: r.u64()?,
+            threshold_bits: r.u64()?,
+            plan_seed: r.u64()?,
+            plan_rows: r.u64()?,
+            plan_cols: r.u64()?,
+            stuck_rate_bits: r.u64()?,
+            dead_row_rate_bits: r.u64()?,
+            flip_rate_bits: r.u64()?,
+        })
+    }
+}
+
+/// One shard's quarantine machine state. Tags: 0 Healthy,
+/// 1 Quarantined, 2 Dead. `until_tick`/`retries_used` are zero unless
+/// the tag is 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardState {
+    /// Health tag (see type docs).
+    pub tag: u8,
+    /// Logical tick at which a quarantined shard requeues.
+    pub until_tick: u64,
+    /// Retries consumed by a quarantined shard.
+    pub retries_used: u64,
+}
+
+/// Fault-tolerance machine state: the spare-row pool and the per-shard
+/// quarantine clocks, plus the fingerprint of the configuration they
+/// were built under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultState {
+    /// Configuration identity, validated on restore.
+    pub fingerprint: FaultFingerprint,
+    /// Spare pool: first spare row index.
+    pub pool_base: u64,
+    /// Spare pool: capacity (number of provisioned spare rows).
+    pub pool_total: u64,
+    /// Spare pool: next unassigned spare cursor.
+    pub pool_next: u64,
+    /// Spare pool: live (logical row → physical spare row) remaps.
+    pub pool_map: Vec<(u64, u64)>,
+    /// Per-shard health machines.
+    pub shards: Vec<ShardState>,
+    /// Per-shard quarantine trip counts (drives the backoff exponent).
+    pub trips: Vec<u64>,
+    /// Lifetime quarantine entries.
+    pub stats_quarantined: u64,
+    /// Lifetime requeues after backoff.
+    pub stats_requeued: u64,
+    /// Shards retired for good.
+    pub stats_dead: u64,
+}
+
+impl FaultState {
+    fn encode_into(&self, w: &mut Writer) {
+        self.fingerprint.encode_into(w);
+        w.put_u64(self.pool_base);
+        w.put_u64(self.pool_total);
+        w.put_u64(self.pool_next);
+        w.put_u64(len_u64(self.pool_map.len()));
+        for &(from, to) in &self.pool_map {
+            w.put_u64(from);
+            w.put_u64(to);
+        }
+        w.put_u64(len_u64(self.shards.len()));
+        for s in &self.shards {
+            w.put_u8(s.tag);
+            w.put_u64(s.until_tick);
+            w.put_u64(s.retries_used);
+        }
+        w.put_u64_vec(&self.trips);
+        w.put_u64(self.stats_quarantined);
+        w.put_u64(self.stats_requeued);
+        w.put_u64(self.stats_dead);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let fingerprint = FaultFingerprint::decode_from(r)?;
+        let pool_base = r.u64()?;
+        let pool_total = r.u64()?;
+        let pool_next = r.u64()?;
+        let n = r.count(16)?;
+        let mut pool_map = Vec::with_capacity(n);
+        for _ in 0..n {
+            pool_map.push((r.u64()?, r.u64()?));
+        }
+        let n = r.count(17)?; // 1 + 8 + 8 bytes per shard
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            shards.push(ShardState {
+                tag: r.u8()?,
+                until_tick: r.u64()?,
+                retries_used: r.u64()?,
+            });
+        }
+        let trips = r.u64_vec()?;
+        Ok(Self {
+            fingerprint,
+            pool_base,
+            pool_total,
+            pool_next,
+            pool_map,
+            shards,
+            trips,
+            stats_quarantined: r.u64()?,
+            stats_requeued: r.u64()?,
+            stats_dead: r.u64()?,
+        })
+    }
+}
+
+/// The complete engine snapshot: everything a `StreamEngine::restore`
+/// needs (beyond the re-supplied encoder, cost model, and fault plan)
+/// to continue a run bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineSnapshot {
+    /// Configuration the engine was running under.
+    pub config: ConfigState,
+    /// Batcher logical clock at capture time.
+    pub now: u64,
+    /// Batcher tick of the last cut.
+    pub last_cut: u64,
+    /// Buffered ring points in FIFO order; each point is its features
+    /// as `f64::to_bits` words.
+    pub pending: Vec<Vec<u64>>,
+    /// Learning state.
+    pub model: ModelState,
+    /// Energy ledger.
+    pub meter: MeterState,
+    /// Observability registry.
+    pub obs: ObsState,
+    /// Fault-tolerance machines, present iff fault injection was on.
+    pub fault: Option<FaultState>,
+    /// Endurance wear-leveler per-block write counts.
+    pub wear: Vec<u64>,
+}
+
+impl EngineSnapshot {
+    /// The logical tick the snapshot was captured at. Replaying the
+    /// input stream from just after this tick reproduces the
+    /// uninterrupted run bit-for-bit.
+    #[must_use]
+    pub fn tick(&self) -> u64 {
+        self.now
+    }
+
+    pub(crate) fn encode_payload(&self, w: &mut Writer) {
+        self.config.encode_into(w);
+        w.put_u64(self.now);
+        w.put_u64(self.last_cut);
+        w.put_u64(len_u64(self.pending.len()));
+        for p in &self.pending {
+            w.put_u64_vec(p);
+        }
+        self.model.encode_into(w);
+        self.meter.encode_into(w);
+        self.obs.encode_into(w);
+        match &self.fault {
+            None => w.put_u8(0),
+            Some(f) => {
+                w.put_u8(1);
+                f.encode_into(w);
+            }
+        }
+        w.put_u64_vec(&self.wear);
+    }
+
+    pub(crate) fn decode_payload(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let config = ConfigState::decode_from(r)?;
+        let now = r.u64()?;
+        let last_cut = r.u64()?;
+        let n = r.count(8)?;
+        let mut pending = Vec::with_capacity(n);
+        for _ in 0..n {
+            pending.push(r.u64_vec()?);
+        }
+        let model = ModelState::decode_from(r)?;
+        let meter = MeterState::decode_from(r)?;
+        let obs = ObsState::decode_from(r)?;
+        let fault = match r.u8()? {
+            0 => None,
+            1 => Some(FaultState::decode_from(r)?),
+            _ => {
+                return Err(SnapError::Corrupt {
+                    reason: "fault presence tag",
+                })
+            }
+        };
+        let wear = r.u64_vec()?;
+        Ok(Self {
+            config,
+            now,
+            last_cut,
+            pending,
+            model,
+            meter,
+            obs,
+            fault,
+            wear,
+        })
+    }
+}

@@ -72,6 +72,29 @@ impl Batcher {
         }
     }
 
+    /// Rebuild a batcher at a recorded clock position — the
+    /// snapshot-restore path.
+    ///
+    /// # Panics
+    ///
+    /// As [`Batcher::new`] for zero thresholds, and when `last_cut`
+    /// lies in the future of `now` (the caller validates decoded
+    /// snapshots before reconstructing).
+    #[must_use]
+    pub fn restore(max_batch: usize, max_ticks: u64, now: u64, last_cut: u64) -> Self {
+        assert!(last_cut <= now, "last_cut must not exceed now");
+        let mut b = Self::new(max_batch, max_ticks);
+        b.now = now;
+        b.last_cut = last_cut;
+        b
+    }
+
+    /// Tick of the most recent cut (0 if none yet), for snapshotting.
+    #[must_use]
+    pub fn last_cut(&self) -> u64 {
+        self.last_cut
+    }
+
     /// Size threshold.
     #[must_use]
     pub fn max_batch(&self) -> usize {

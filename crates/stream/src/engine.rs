@@ -20,6 +20,7 @@ use dual_fault::{
 };
 use dual_hdc::{Encoder, Hypervector};
 use dual_obs::{Key, Registry};
+use dual_pim::endurance::WearLeveler;
 use dual_pim::{CostModel, Op, StreamBatchCost, StreamMeter};
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +55,11 @@ pub struct StreamConfig {
     /// honouring `DUAL_THREADS`). Results are bit-identical for every
     /// value.
     pub threads: usize,
+    /// Periodic write-ahead snapshot interval on the logical tick
+    /// clock: every `snapshot_every`-th tick ends by capturing the
+    /// engine into [`StreamEngine::wal`]. `0` disables periodic
+    /// capture (explicit [`StreamEngine::checkpoint`] still works).
+    pub snapshot_every: u64,
 }
 
 impl StreamConfig {
@@ -72,6 +78,7 @@ impl StreamConfig {
             decay: 1.0,
             shards: 4,
             threads: 0,
+            snapshot_every: 0,
         }
     }
 
@@ -183,17 +190,19 @@ pub struct FaultStatus {
 }
 
 /// Live fault-injection state threaded through the cut pipeline.
+/// Fields are crate-visible for the snapshot path in
+/// [`crate::persist`].
 #[derive(Debug, Clone)]
-struct FaultState {
-    plan: FaultPlan,
-    policy: HealingPolicy,
-    pool: SpareRowPool,
-    quarantine: Quarantine,
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    pub(crate) policy: HealingPolicy,
+    pub(crate) pool: SpareRowPool,
+    pub(crate) quarantine: Quarantine,
     /// Per-shard corrupted-bit fraction that trips quarantine.
-    threshold: f64,
+    pub(crate) threshold: f64,
     /// Permanent faults per row above which a row is remapped
     /// (`cols / 100 + 1`: about 1 % of the row).
-    remap_threshold: usize,
+    pub(crate) remap_threshold: usize,
 }
 
 /// Per-stage event counters, monotone over the engine's lifetime.
@@ -258,21 +267,28 @@ pub struct StreamSnapshot {
 /// the stage diagram).
 #[derive(Debug, Clone)]
 pub struct StreamEngine<E> {
-    encoder: E,
-    config: StreamConfig,
-    ring: Ring<Vec<f64>>,
-    batcher: Batcher,
-    model: OnlineKMeans,
-    meter: StreamMeter,
+    pub(crate) encoder: E,
+    pub(crate) config: StreamConfig,
+    pub(crate) ring: Ring<Vec<f64>>,
+    pub(crate) batcher: Batcher,
+    pub(crate) model: OnlineKMeans,
+    pub(crate) meter: StreamMeter,
     /// Fault injection + self-healing, when enabled via
     /// [`StreamEngine::with_fault_injection`].
-    fault: Option<FaultState>,
+    pub(crate) fault: Option<FaultState>,
     /// Engine-private metrics registry: every pipeline event lands here
     /// under the `stream.*` keys, and the chip-cost gauges (`pim.*`)
     /// are refreshed after each committed batch. Private so snapshots
     /// stay deterministic regardless of what else the process records
     /// into the global registry.
-    obs: Registry,
+    pub(crate) obs: Registry,
+    /// Per-block NVM write counts for the §VIII-H endurance story:
+    /// every re-binarized sub-centroid writes `dim` columns into the
+    /// least-worn of the `ceil(D / 1024)` dimension blocks.
+    pub(crate) wear: WearLeveler,
+    /// The most recent write-ahead snapshot, refreshed every
+    /// `snapshot_every` ticks (see [`StreamEngine::wal`]).
+    pub(crate) wal: Option<Vec<u8>>,
 }
 
 impl<E: Encoder + Sync> StreamEngine<E> {
@@ -313,6 +329,7 @@ impl<E: Encoder + Sync> StreamEngine<E> {
             config.decay,
             config.shards,
         );
+        let wear = WearLeveler::new(encoder.dim().div_ceil(BLOCK_ROWS).max(1));
         Ok(Self {
             encoder,
             ring: Ring::with_capacity(config.capacity),
@@ -321,6 +338,8 @@ impl<E: Encoder + Sync> StreamEngine<E> {
             meter: StreamMeter::new(cost),
             fault: None,
             obs: Registry::new(),
+            wear,
+            wal: None,
             config,
         })
     }
@@ -420,6 +439,22 @@ impl<E: Encoder + Sync> StreamEngine<E> {
     #[must_use]
     pub fn meter(&self) -> &StreamMeter {
         &self.meter
+    }
+
+    /// The endurance wear-leveler tracking per-block centroid-rewrite
+    /// counts (one block per 1024 hypervector dimensions).
+    #[must_use]
+    pub fn wear(&self) -> &WearLeveler {
+        &self.wear
+    }
+
+    /// The most recent write-ahead snapshot blob, refreshed at every
+    /// `snapshot_every`-th tick (and `None` until the first capture or
+    /// when periodic capture is off). Feed it to
+    /// [`StreamEngine::restore`] to resume from that tick.
+    #[must_use]
+    pub fn wal(&self) -> Option<&[u8]> {
+        self.wal.as_deref()
     }
 
     /// Current fault/healing state, `None` when fault injection is
@@ -563,6 +598,14 @@ impl<E: Encoder + Sync> StreamEngine<E> {
                 // points and the deadline stays armed for a retry.
                 None => break,
             }
+        }
+        // Write-ahead capture happens at the END of the tick, so the
+        // blob holds the post-cut state of tick `now`: a restore
+        // replays pushes/ticks strictly after `now` and lands
+        // bit-identical to the uninterrupted run.
+        if self.config.snapshot_every > 0 && now.is_multiple_of(self.config.snapshot_every) {
+            let blob = self.checkpoint();
+            self.wal = Some(blob);
         }
         Ok(costs)
     }
@@ -869,19 +912,27 @@ impl<E: Encoder + Sync> StreamEngine<E> {
         self.meter.record_grid(Op::Add { bits: 16 }, n, row_blocks);
         let bits = u32::try_from(self.encoder.dim()).unwrap_or(u32::MAX);
         self.meter.record_serial(Op::Write { bits }, rebinarized);
+        if rebinarized > 0 {
+            // Endurance accounting: each rewritten sub-centroid writes
+            // `dim` columns; the leveler rotates the data-block role to
+            // the least-worn block (§VIII-H).
+            let blk = self.wear.next_data_block();
+            self.wear
+                .record_writes(blk, rebinarized * as_u64(self.encoder.dim()));
+        }
     }
 }
 
 /// Lossless `usize → u64` (saturating on a hypothetical >64-bit
 /// platform), without a lint-audited `as` cast.
-fn as_u64(x: usize) -> u64 {
+pub(crate) fn as_u64(x: usize) -> u64 {
     u64::try_from(x).unwrap_or(u64::MAX)
 }
 
 /// `u64 → f64` for gauge export; exact below `2^53`, far beyond any
 /// realistic op-issue count.
 #[allow(clippy::cast_precision_loss)]
-fn as_f64(x: u64) -> f64 {
+pub(crate) fn as_f64(x: u64) -> f64 {
     x as f64
 }
 

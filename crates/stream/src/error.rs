@@ -28,6 +28,18 @@ pub enum StreamError {
     },
     /// An encoder error surfaced from the encode stage.
     Encode(dual_hdc::HdcError),
+    /// A snapshot failed to decode (truncated, corrupted, or from an
+    /// unsupported format version).
+    Snapshot(dual_snap::SnapError),
+    /// A decoded snapshot disagrees with the state re-supplied at
+    /// restore time (encoder geometry, cost model expectations, or the
+    /// fault-injection fingerprint).
+    RestoreMismatch {
+        /// Which re-supplied piece disagreed.
+        name: &'static str,
+        /// How it disagreed.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -41,6 +53,10 @@ impl fmt::Display for StreamError {
             }
             Self::CentroidShape { reason } => write!(f, "bad seeded centroids: {reason}"),
             Self::Encode(e) => write!(f, "encode stage failed: {e}"),
+            Self::Snapshot(e) => write!(f, "snapshot decode failed: {e}"),
+            Self::RestoreMismatch { name, reason } => {
+                write!(f, "restore mismatch on `{name}`: {reason}")
+            }
         }
     }
 }
@@ -49,6 +65,7 @@ impl std::error::Error for StreamError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Encode(e) => Some(e),
+            Self::Snapshot(e) => Some(e),
             _ => None,
         }
     }
@@ -57,6 +74,12 @@ impl std::error::Error for StreamError {
 impl From<dual_hdc::HdcError> for StreamError {
     fn from(e: dual_hdc::HdcError) -> Self {
         Self::Encode(e)
+    }
+}
+
+impl From<dual_snap::SnapError> for StreamError {
+    fn from(e: dual_snap::SnapError) -> Self {
+        Self::Snapshot(e)
     }
 }
 

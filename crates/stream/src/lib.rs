@@ -29,6 +29,12 @@
 //!   searched through the [`ShardedIndex`].
 //! * **Attribution** — every committed batch is priced on the paper's
 //!   chip cost model via `dual_pim::StreamMeter`.
+//! * **Durability** (opt-in) — [`StreamEngine::checkpoint`] captures
+//!   the complete engine state into a `dual_snap` blob (periodically
+//!   via `snapshot_every` on the tick clock) and
+//!   [`StreamEngine::restore`] rebuilds it; replaying the post-capture
+//!   ticks reproduces the uninterrupted run bit-for-bit (see
+//!   [`crate::StreamEngine::checkpoint`] and DESIGN.md §9).
 //! * **Fault tolerance** (opt-in) — [`StreamEngine::with_fault_injection`]
 //!   senses stored sub-centroids through a deterministic
 //!   `dual_fault::FaultPlan` before every assignment, remaps dead rows
@@ -85,6 +91,7 @@ mod engine;
 mod error;
 mod index;
 mod online;
+mod persist;
 mod ring;
 
 pub use batcher::{Batcher, CutReason};

@@ -143,6 +143,68 @@ impl OnlineKMeans {
         self.batches_observed
     }
 
+    /// Per-slot accumulators in slot order, for snapshotting.
+    #[must_use]
+    pub fn accumulators(&self) -> &[CentroidAccumulator] {
+        &self.accumulators
+    }
+
+    /// Rebuild a model from previously exported state — the
+    /// snapshot-restore path. `centroids` and `accumulators` are the
+    /// seeded slots in slot order; their contents are taken verbatim so
+    /// the restored model continues bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::CentroidShape`] when the centroid and
+    /// accumulator lists disagree in length, exceed the slot count, or
+    /// carry a dimensionality other than `dim`.
+    ///
+    /// # Panics
+    ///
+    /// As [`OnlineKMeans::new`] for degenerate geometry parameters.
+    // Eight scalars of exported state, not a config soup: a builder or
+    // params struct would just re-spell `EngineSnapshot` here.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        dim: usize,
+        k: usize,
+        centroids_per_cluster: usize,
+        decay: f64,
+        shards: usize,
+        centroids: Vec<Hypervector>,
+        accumulators: Vec<CentroidAccumulator>,
+        batches_observed: u64,
+    ) -> Result<Self, StreamError> {
+        let mut model = Self::new(dim, k, centroids_per_cluster, decay, shards);
+        if centroids.len() != accumulators.len() {
+            return Err(StreamError::CentroidShape {
+                reason: "restored centroid and accumulator counts differ",
+            });
+        }
+        if centroids.len() > model.slots() {
+            return Err(StreamError::CentroidShape {
+                reason: "more restored centroids than sub-centroid slots",
+            });
+        }
+        if centroids.iter().any(|c| c.dim() != dim) {
+            return Err(StreamError::CentroidShape {
+                reason: "restored centroid dimensionality differs from engine dim",
+            });
+        }
+        if accumulators.iter().any(|a| a.dim() != dim) {
+            return Err(StreamError::CentroidShape {
+                reason: "restored accumulator dimensionality differs from engine dim",
+            });
+        }
+        for c in centroids {
+            model.index.push(c);
+        }
+        model.accumulators = accumulators;
+        model.batches_observed = batches_observed;
+        Ok(model)
+    }
+
     /// The cluster that sub-centroid slot `s` belongs to (`s % k`).
     #[must_use]
     pub fn cluster_of(&self, sub_centroid: usize) -> usize {

@@ -106,6 +106,13 @@ impl<T> Ring<T> {
         self.len == self.capacity()
     }
 
+    /// Iterate the buffered items oldest-first without consuming them
+    /// (the order [`Ring::pop`] would yield) — the snapshot path reads
+    /// pending points through this.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        (0..self.len).filter_map(move |i| self.slots[(self.head + i) % self.capacity()].as_ref())
+    }
+
     /// Enqueue at the tail, or hand the item back when full.
     ///
     /// # Errors

@@ -21,6 +21,7 @@
 //! | [`stream`] | `dual-stream` | backpressured streaming-clustering engine |
 //! | [`fault`] | `dual-fault` | deterministic fault injection + self-healing policies |
 //! | [`obs`] | `dual-obs` | deterministic metrics registry + logical-clock tracing |
+//! | [`snap`] | `dual-snap` | versioned write-ahead snapshot format + replay recovery |
 //! | [`tsne`] | `dual-tsne` | exact t-SNE for the Fig. 11 visualization |
 //!
 //! ## Quickstart
@@ -57,6 +58,7 @@ pub use dual_hdc as hdc;
 pub use dual_isa as isa;
 pub use dual_obs as obs;
 pub use dual_pim as pim;
+pub use dual_snap as snap;
 pub use dual_stream as stream;
 pub use dual_tsne as tsne;
 

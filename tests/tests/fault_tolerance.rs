@@ -137,6 +137,98 @@ fn spare_row_remap_recovers_within_one_percent_of_fault_free() {
     assert_eq!(snap.energy_pj.to_bits(), ref_snap.energy_pj.to_bits());
 }
 
+/// A crash while shards sit in quarantine restores with the same
+/// backoff clocks, retry budgets, and trip counts, and replays to the
+/// exact end state of the uninterrupted run — the quarantine machine's
+/// mid-backoff state survives the write-ahead snapshot round trip.
+#[test]
+fn kill_while_quarantined_restores_backoff_and_trip_state() {
+    // A transient-flip load heavy enough to trip the 2 % corruption
+    // threshold on every sense pass, with healing off so nothing masks
+    // the corruption.
+    let make_fault = || {
+        let mut spec = FaultPlanSpec::clean(SLOTS + SPARES, DIM);
+        spec.seed = PLAN_SEED;
+        spec.flip_rate = 0.04;
+        FaultConfig::new(FaultPlan::new(spec).unwrap())
+    };
+    let mut cfg = config(1);
+    cfg.snapshot_every = 1; // write-ahead capture at every tick
+    let points: Vec<Vec<f64>> = {
+        let mut data = DriftSpec::new(FEATURES, CLUSTERS);
+        data.drift_rate = 1e-3;
+        data.stream(STREAM_SEED)
+            .take(TRAIN_POINTS)
+            .map(|(p, _)| p)
+            .collect()
+    };
+    let feed = |engine: &mut StreamEngine<HdMapper>, from: usize, to: usize| {
+        for (i, point) in points.iter().enumerate().take(to).skip(from) {
+            engine.push(point).unwrap();
+            if (i + 1) % 96 == 0 {
+                engine.tick().unwrap();
+            }
+        }
+    };
+
+    // Gold: the uninterrupted run.
+    let mut gold = StreamEngine::new(encoder(), cfg.clone())
+        .unwrap()
+        .with_fault_injection(make_fault())
+        .unwrap();
+    feed(&mut gold, 0, TRAIN_POINTS);
+    gold.drain().unwrap();
+
+    // Victim: killed right after the first tick that benched a shard.
+    let mut victim = StreamEngine::new(encoder(), cfg.clone())
+        .unwrap()
+        .with_fault_injection(make_fault())
+        .unwrap();
+    let mut kill_point = None;
+    for (i, point) in points.iter().enumerate() {
+        victim.push(point).unwrap();
+        if (i + 1) % 96 == 0 {
+            victim.tick().unwrap();
+            let status = victim.fault_status().unwrap();
+            if status.quarantined_now > 0 {
+                kill_point = Some(i + 1);
+                break;
+            }
+        }
+    }
+    let kill_point = kill_point.expect("a 4% flip load must trip quarantine");
+    let at_kill = victim.fault_status().unwrap();
+    assert!(at_kill.quarantine_trips > 0);
+    let wal = victim.wal().unwrap().to_vec();
+    drop(victim);
+
+    // Restore: the quarantine machine continues exactly where the
+    // victim stood — same trips, same benched shards, same budget.
+    let mut recovered = StreamEngine::restore_with(
+        encoder(),
+        &wal,
+        dual_pim::CostModel::paper(),
+        Some(make_fault()),
+    )
+    .unwrap();
+    assert_eq!(recovered.fault_status().unwrap(), at_kill);
+    assert_eq!(recovered.now(), (kill_point / 96) as u64);
+
+    // Replay the suffix (snapshot_every = 1 means the capture happened
+    // at the kill tick itself) and land bit-for-bit on the gold run.
+    feed(&mut recovered, kill_point, TRAIN_POINTS);
+    recovered.drain().unwrap();
+    let (want, got) = (gold.snapshot(), recovered.snapshot());
+    assert_eq!(got.clusters, want.clusters);
+    assert_eq!(got.counters, want.counters);
+    assert_eq!(got.energy_pj.to_bits(), want.energy_pj.to_bits());
+    assert_eq!(recovered.fault_status(), gold.fault_status());
+    assert_eq!(
+        recovered.obs_registry().stable_snapshot().to_json(),
+        gold.obs_registry().stable_snapshot().to_json()
+    );
+}
+
 /// The full healing stack under a composite fault load is bit-identical
 /// for every thread count: snapshots, counters, energy, and the fault
 /// ledger all match the serial run exactly.

@@ -1,0 +1,196 @@
+//! Crash/recovery contract of the `dual-snap` write-ahead snapshot
+//! path, as properties: for *any* kill tick, workload size (including
+//! the ring-capacity straddle {0, 1, 63, 64, 65}), and thread count,
+//! snapshot → restore → replay must reproduce the uninterrupted run
+//! bit-for-bit; and corrupted blobs — truncated anywhere or with any
+//! single bit flipped — must fail closed with a typed error, never
+//! panic and never restore garbage.
+
+use proptest::prelude::*;
+
+use dual_data::DriftSpec;
+use dual_hdc::HdMapper;
+use dual_snap::EngineSnapshot;
+use dual_stream::{StreamConfig, StreamEngine, StreamError};
+
+const FEATURES: usize = 4;
+const DIM: usize = 128;
+/// Points between consecutive engine ticks.
+const TICK_EVERY: usize = 8;
+/// Periodic write-ahead capture interval, in ticks.
+const SNAPSHOT_EVERY: u64 = 2;
+/// Workload sizes straddling the 64-point ring capacity (the last
+/// entry is a sentinel replaced by a random larger size per case).
+const SIZES: [usize; 6] = [0, 1, 63, 64, 65, usize::MAX];
+const THREADS: [usize; 3] = [0, 2, 8];
+
+fn encoder() -> HdMapper {
+    HdMapper::builder(DIM, FEATURES)
+        .seed(11)
+        .sigma(4.0)
+        .build()
+        .unwrap()
+}
+
+fn config(threads: usize) -> StreamConfig {
+    let mut cfg = StreamConfig::new(3);
+    cfg.capacity = 64;
+    cfg.max_batch = 16;
+    cfg.max_ticks = 4;
+    cfg.decay = 0.9;
+    cfg.shards = 2;
+    cfg.threads = threads;
+    cfg.snapshot_every = SNAPSHOT_EVERY;
+    cfg
+}
+
+fn stream_points(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    DriftSpec::new(FEATURES, 3)
+        .stream(seed)
+        .take(n)
+        .map(|(p, _)| p)
+        .collect()
+}
+
+/// Feed points `[from, to)`, ticking after every `TICK_EVERY`-th point
+/// of the overall stream.
+fn feed(engine: &mut StreamEngine<HdMapper>, points: &[Vec<f64>], from: usize, to: usize) {
+    for (i, point) in points.iter().enumerate().take(to).skip(from) {
+        engine.push(point).unwrap();
+        if (i + 1) % TICK_EVERY == 0 {
+            engine.tick().unwrap();
+        }
+    }
+}
+
+/// Everything the replay-equivalence property compares, bit-exact.
+fn observe(engine: &mut StreamEngine<HdMapper>) -> (String, dual_stream::StreamSnapshot, Vec<u64>) {
+    engine.drain().unwrap();
+    (
+        engine.obs_registry().stable_snapshot().to_json(),
+        engine.snapshot(),
+        engine.wear().writes().to_vec(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Kill at any tick of any workload under any thread count:
+    /// restore + replay equals the uninterrupted run.
+    #[test]
+    fn replay_from_any_kill_tick_matches_uninterrupted(
+        size_idx in 0usize..SIZES.len(),
+        extra in 0usize..192,
+        thread_idx in 0usize..THREADS.len(),
+        kill_sel in proptest::arbitrary::any::<u64>(),
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        // The pinned boundary sizes, plus a random larger workload.
+        let size_sel = if size_idx == SIZES.len() - 1 { 66 + extra } else { SIZES[size_idx] };
+        let threads = THREADS[thread_idx];
+        let points = stream_points(size_sel, seed);
+        let total_ticks = (size_sel / TICK_EVERY) as u64;
+        let kill_tick = if total_ticks == 0 { 0 } else { kill_sel % (total_ticks + 1) };
+
+        let mut gold = StreamEngine::new(encoder(), config(threads)).unwrap();
+        feed(&mut gold, &points, 0, points.len());
+        let want = observe(&mut gold);
+
+        // Victim: killed right after tick `kill_tick`; only its last
+        // periodic write-ahead blob survives.
+        let mut victim = StreamEngine::new(encoder(), config(threads)).unwrap();
+        feed(&mut victim, &points, 0, kill_tick as usize * TICK_EVERY);
+        let wal = victim.wal().map(<[u8]>::to_vec);
+        drop(victim);
+
+        let (mut recovered, resume_tick) = match &wal {
+            Some(blob) => {
+                let restored = StreamEngine::restore(encoder(), blob).unwrap();
+                (restored, EngineSnapshot::decode(blob).unwrap().tick())
+            }
+            // Crash before the first capture: cold restart, full replay.
+            None => (StreamEngine::new(encoder(), config(threads)).unwrap(), 0),
+        };
+        prop_assert!(resume_tick <= kill_tick);
+        feed(&mut recovered, &points, resume_tick as usize * TICK_EVERY, points.len());
+        let got = observe(&mut recovered);
+
+        prop_assert_eq!(&got.0, &want.0, "stable obs JSON must be byte-identical");
+        prop_assert_eq!(&got.1, &want.1, "engine snapshot must be bit-identical");
+        prop_assert_eq!(&got.2, &want.2, "wear counts must be identical");
+    }
+
+    /// Any single bit flipped anywhere in a blob fails closed with a
+    /// typed snapshot error — never a panic, never a silent restore.
+    #[test]
+    fn single_bit_flips_fail_closed(byte_sel in proptest::arbitrary::any::<u64>(), bit in 0u8..8) {
+        let mut engine = StreamEngine::new(encoder(), config(0)).unwrap();
+        let points = stream_points(96, 7);
+        feed(&mut engine, &points, 0, points.len());
+        let mut blob = engine.checkpoint();
+        let idx = usize::try_from(byte_sel).unwrap_or(usize::MAX) % blob.len();
+        blob[idx] ^= 1 << bit;
+        let outcome = StreamEngine::restore(encoder(), &blob);
+        prop_assert!(
+            matches!(outcome, Err(StreamError::Snapshot(_))),
+            "flip at byte {} bit {} must fail closed, got {:?}",
+            idx,
+            bit,
+            outcome.map(|_| "a restored engine")
+        );
+    }
+
+    /// Truncation at any length fails closed with a typed error.
+    #[test]
+    fn truncations_fail_closed(cut_sel in proptest::arbitrary::any::<u64>()) {
+        let mut engine = StreamEngine::new(encoder(), config(0)).unwrap();
+        let points = stream_points(96, 7);
+        feed(&mut engine, &points, 0, points.len());
+        let blob = engine.checkpoint();
+        let cut = usize::try_from(cut_sel).unwrap_or(usize::MAX) % blob.len();
+        let outcome = StreamEngine::restore(encoder(), &blob[..cut]);
+        prop_assert!(
+            matches!(outcome, Err(StreamError::Snapshot(_))),
+            "truncation to {} bytes must fail closed, got {:?}",
+            cut,
+            outcome.map(|_| "a restored engine")
+        );
+    }
+}
+
+/// The canonical truncation edges (empty, magic-only, header-only,
+/// one-byte-short) deterministically, so a regression names the exact
+/// framing layer that leaked.
+#[test]
+fn framing_edge_truncations_fail_closed() {
+    let mut engine = StreamEngine::new(encoder(), config(0)).unwrap();
+    let points = stream_points(64, 3);
+    feed(&mut engine, &points, 0, points.len());
+    let blob = engine.checkpoint();
+    for cut in [0, 1, 4, 8, 15, 16, blob.len() - 1] {
+        assert!(
+            matches!(
+                StreamEngine::restore(encoder(), &blob[..cut]),
+                Err(StreamError::Snapshot(_))
+            ),
+            "truncation to {cut} bytes must fail closed"
+        );
+    }
+}
+
+/// A future format version is refused up front, not misparsed.
+#[test]
+fn future_version_is_refused() {
+    let mut engine = StreamEngine::new(encoder(), config(0)).unwrap();
+    let points = stream_points(64, 3);
+    feed(&mut engine, &points, 0, points.len());
+    let mut blob = engine.checkpoint();
+    blob[4] = 0xFF; // version u32 LE lives right after the 4-byte magic
+    assert!(matches!(
+        StreamEngine::restore(encoder(), &blob),
+        Err(StreamError::Snapshot(
+            dual_snap::SnapError::UnsupportedVersion { .. }
+        ))
+    ));
+}

@@ -87,6 +87,61 @@ fn drop_oldest_saturated_ring_never_deadlocks_or_overflows() {
 }
 
 #[test]
+fn drop_oldest_overflow_then_drain_conserves_points_and_meter_ledger() {
+    // Overflow the ring under DropOldest mid-stream (slow consumer),
+    // then drain: every ingested point must be accounted for as either
+    // dropped or clustered, and the energy meter's ledger must balance
+    // against the stage counters — the drain after shedding is the
+    // path a plain saturation test never exercises.
+    let mut cfg = config(3);
+    cfg.capacity = 64;
+    cfg.max_batch = 16;
+    cfg.policy = BackpressurePolicy::DropOldest;
+    let mut engine = StreamEngine::new(encoder(128), cfg).unwrap();
+    let mut dropped = 0u64;
+    for (i, p) in stream_points(600, 5).iter().enumerate() {
+        match engine.push(p).unwrap() {
+            PushOutcome::Accepted => {}
+            PushOutcome::AcceptedDroppedOldest => dropped += 1,
+            other => panic!("unexpected outcome under DropOldest: {other:?}"),
+        }
+        // Tick rarely enough that the 64-slot ring overflows between
+        // consumer runs, and never on the final point so the drain has
+        // shed-survivors left to flush.
+        if i % 250 == 249 {
+            engine.tick().unwrap();
+        }
+    }
+    assert!(dropped > 0, "this cadence must overflow the ring");
+    let costs = engine.drain().unwrap();
+    assert!(!costs.is_empty(), "drain must flush the shed-survivors");
+
+    let snap = engine.snapshot();
+    // Point conservation: ingested = clustered + dropped, nothing
+    // pending after the drain.
+    assert_eq!(snap.counters.ingested, 600);
+    assert_eq!(snap.counters.dropped, dropped);
+    assert_eq!(snap.points + dropped, 600);
+    assert_eq!(snap.pending, 0);
+    // Stage-counter consistency: only surviving points were encoded
+    // and assigned, and every batch was cut for an accounted reason.
+    assert_eq!(snap.counters.encoded, snap.points);
+    assert_eq!(snap.counters.assigned, snap.points);
+    assert_eq!(
+        snap.counters.batches,
+        snap.counters.size_cuts + snap.counters.deadline_cuts + snap.counters.drain_cuts
+    );
+    assert!(snap.counters.drain_cuts > 0);
+    // Meter ledger balance: the per-batch costs the engine handed out
+    // sum exactly (f64-add in batch order) to the committed totals,
+    // over exactly the clustered points.
+    let meter_points: u64 = engine.meter().points();
+    assert_eq!(meter_points, snap.points);
+    assert_eq!(engine.meter().batches(), snap.batches);
+    assert!(snap.energy_pj > 0.0 && snap.time_ns > 0.0);
+}
+
+#[test]
 fn reject_policy_never_buffers_past_capacity() {
     let mut cfg = config(2);
     cfg.capacity = 10;
