@@ -22,10 +22,11 @@
 #   fault        fault-degradation sweep, diffed against the committed report
 #   determinism  seed x DUAL_THREADS matrix: reports must be byte-identical
 #   recovery     crash/restore/replay harness across DUAL_THREADS, byte-diffed
+#   verify-isa   static dataflow verification of every PIM trace + mutation gate
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(build test doc clippy fmt lint bench obs fault determinism recovery)
+ALL_STAGES=(build test doc clippy fmt lint bench obs fault determinism recovery verify-isa)
 
 # ---------------------------------------------------------------- stages
 
@@ -151,6 +152,29 @@ stage_recovery() {
   rm -rf "$tmp"
 }
 
+stage_verify_isa() {
+  local tmp
+  tmp=$(mktemp -d)
+  echo "--- trace_verifier: static verification of every in-tree PIM trace"
+  # The bin exits nonzero when any workload trace carries a gate-failing
+  # diagnostic or any seeded mutation goes unrejected; the sweep here
+  # additionally pins the report bytes across thread counts and against
+  # the committed artifact (the one-way ratchet).
+  for threads in 0 2 8; do
+    DUAL_THREADS=$threads cargo run -q -p dual-bench --release --bin trace_verifier -- \
+      --out "$tmp/isa_verify_$threads.json" >/dev/null
+    echo "    DUAL_THREADS=$threads ok"
+  done
+  for threads in 2 8; do
+    diff "$tmp/isa_verify_0.json" "$tmp/isa_verify_$threads.json" \
+      || { echo "isa_verify report diverged at DUAL_THREADS=$threads"; return 1; }
+  done
+  diff "$tmp/isa_verify_0.json" results/isa_verify.json \
+    || { echo "isa_verify.json drifted: regenerate and commit it"; return 1; }
+  echo "    reports byte-identical across DUAL_THREADS in {0, 2, 8}"
+  rm -rf "$tmp"
+}
+
 # ---------------------------------------------------------------- driver
 
 list_stages() {
@@ -171,7 +195,8 @@ is_stage() {
 # call).
 if [[ "${1:-}" == "--run-one" ]]; then
   shift
-  "stage_$1"
+  # Stage names are kebab-case on the CLI, function names snake_case.
+  "stage_${1//-/_}"
   exit 0
 fi
 

@@ -13,7 +13,8 @@
 use crate::DualConfig;
 use dual_cluster::{AgglomerativeClustering, CondensedMatrix, Linkage};
 use dual_hdc::{majority_bundle, Encoder, HdMapper, Hypervector};
-use dual_isa::{IsaError, Runtime, Vlca};
+use dual_isa::{Instruction, IsaError, Runtime, Vlca};
+use dual_isa_verify::Geometry;
 use dual_pim::stats::EnergyStats;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -28,6 +29,41 @@ pub struct DualClusteringOutcome {
     pub stats: EnergyStats,
     /// Number of PIM instructions issued.
     pub instructions: usize,
+    /// The full instruction stream the run issued, for static
+    /// verification (`dual_isa_verify`) or offline inspection.
+    pub trace: Vec<Instruction>,
+    /// Geometry of the runtime the trace executed on — what a
+    /// [`dual_isa_verify::Verifier`] must be built against.
+    pub geometry: Geometry,
+}
+
+impl DualClusteringOutcome {
+    fn empty() -> Self {
+        Self {
+            labels: Vec::new(),
+            stats: EnergyStats::new(),
+            instructions: 0,
+            trace: Vec::new(),
+            geometry: Geometry::empty(),
+        }
+    }
+
+    fn from_run(labels: Vec<usize>, rt: &Runtime) -> Self {
+        Self {
+            labels,
+            stats: rt.stats().clone(),
+            instructions: rt.trace().len(),
+            trace: rt.trace().to_vec(),
+            geometry: Geometry::of_runtime(rt),
+        }
+    }
+
+    /// Statically re-verify the run's instruction stream against its
+    /// executed statistics (see [`dual_isa_verify`]).
+    #[must_use]
+    pub fn verify(&self) -> dual_isa_verify::VerifyReport {
+        dual_isa_verify::Verifier::new(self.geometry).check_against(&self.trace, &self.stats)
+    }
 }
 
 /// Functional accelerator: HD-Mapper + PIM runtime.
@@ -174,11 +210,7 @@ impl DualAccelerator {
         let encoded = self.encode(points)?;
         let n = encoded.len();
         if n == 0 {
-            return Ok(DualClusteringOutcome {
-                labels: Vec::new(),
-                stats: EnergyStats::new(),
-                instructions: 0,
-            });
+            return Ok(DualClusteringOutcome::empty());
         }
         let (mut rt, refs) = self.runtime_for(n)?;
         self.load(&mut rt, &refs, &encoded)?;
@@ -194,11 +226,7 @@ impl DualAccelerator {
             }
         }
         let model = AgglomerativeClustering::fit_precomputed(&matrix, linkage);
-        Ok(DualClusteringOutcome {
-            labels: model.cut(k),
-            stats: rt.stats().clone(),
-            instructions: rt.trace().len(),
-        })
+        Ok(DualClusteringOutcome::from_run(model.cut(k), &rt))
     }
 
     /// Binary k-means (§VI-C, Fig. 9b): assignment by in-memory Hamming
@@ -217,11 +245,7 @@ impl DualAccelerator {
         let encoded = self.encode(points)?;
         let n = encoded.len();
         if n == 0 || k == 0 {
-            return Ok(DualClusteringOutcome {
-                labels: Vec::new(),
-                stats: EnergyStats::new(),
-                instructions: 0,
-            });
+            return Ok(DualClusteringOutcome::empty());
         }
         let (mut rt, refs) = self.runtime_for(n)?;
         self.load(&mut rt, &refs, &encoded)?;
@@ -287,11 +311,7 @@ impl DualAccelerator {
                 break;
             }
         }
-        Ok(DualClusteringOutcome {
-            labels,
-            stats: rt.stats().clone(),
-            instructions: rt.trace().len(),
-        })
+        Ok(DualClusteringOutcome::from_run(labels, &rt))
     }
 
     /// DBSCAN in the paper's nearest-chain formulation (§VI-C, Fig. 9a,
@@ -312,11 +332,7 @@ impl DualAccelerator {
         let encoded = self.encode(points)?;
         let n = encoded.len();
         if n == 0 {
-            return Ok(DualClusteringOutcome {
-                labels: Vec::new(),
-                stats: EnergyStats::new(),
-                instructions: 0,
-            });
+            return Ok(DualClusteringOutcome::empty());
         }
         let eps_bits = (eps.clamp(0.0, 1.0) * self.config.dim as f64) as u64;
         let (mut rt, refs) = self.runtime_for(n)?;
@@ -342,11 +358,7 @@ impl DualAccelerator {
             cur = idx;
             remaining -= 1;
         }
-        Ok(DualClusteringOutcome {
-            labels,
-            stats: rt.stats().clone(),
-            instructions: rt.trace().len(),
-        })
+        Ok(DualClusteringOutcome::from_run(labels, &rt))
     }
 
     /// Demonstrate the in-memory Ward coefficient computation (Fig. 6
@@ -447,6 +459,9 @@ mod tests {
         assert!(acc > 0.9, "accuracy {acc}");
         assert!(out.stats.time_ns() > 0.0);
         assert!(out.instructions > 0);
+        assert_eq!(out.trace.len(), out.instructions);
+        let report = out.verify();
+        assert!(report.is_clean(), "errors: {:?}", report.errors().count());
     }
 
     #[test]
@@ -455,6 +470,7 @@ mod tests {
         let out = accel().fit_kmeans(&pts, 3, 13).unwrap();
         let acc = cluster_accuracy(&out.labels, &truth);
         assert!(acc > 0.85, "accuracy {acc}");
+        assert!(out.verify().is_clean());
     }
 
     #[test]
@@ -473,6 +489,7 @@ mod tests {
         assert_eq!(out.labels, sw.labels);
         let acc = cluster_accuracy(&out.labels, &truth);
         assert!(acc > 0.9, "accuracy {acc}");
+        assert!(out.verify().is_clean());
     }
 
     #[test]
@@ -504,6 +521,9 @@ mod tests {
         assert!(a.fit_hierarchical(&[], 3).unwrap().labels.is_empty());
         assert!(a.fit_kmeans(&[], 3, 0).unwrap().labels.is_empty());
         assert!(a.fit_dbscan(&[], 0.1).unwrap().labels.is_empty());
+        // The empty outcome carries the empty geometry and trace, which
+        // trivially verify.
+        assert!(a.fit_dbscan(&[], 0.1).unwrap().verify().is_clean());
     }
 
     #[test]

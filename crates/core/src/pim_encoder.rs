@@ -326,6 +326,11 @@ mod tests {
             let reference = enc.reference_encode(&feats);
             assert_eq!(on_pim, reference, "feats {feats:?}");
         }
+        // The encoder's instruction stream passes static verification,
+        // including the exact cost cross-check.
+        use dual_isa_verify::RuntimeVerify;
+        let report = rt.verify_trace();
+        assert!(report.is_clean(), "diagnostics: {:?}", report.diagnostics);
     }
 
     #[test]

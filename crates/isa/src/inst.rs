@@ -1,4 +1,11 @@
 //! The PIM instructions of Table I and the specialized registers.
+//!
+//! The instruction stream a [`crate::Runtime`] emits is *complete*:
+//! every device operation the runtime charges against the Table III
+//! cost model appears as exactly one trace entry, with fully resolved
+//! physical addressing (block / row / column), so a static pass —
+//! `dual-isa-verify` — can re-derive bounds, dataflow and cost from the
+//! trace alone.
 
 use serde::{Deserialize, Serialize};
 
@@ -19,11 +26,14 @@ pub enum ArithKind {
 ///
 /// Register naming follows the paper: `b*` are block registers, `r*`
 /// row registers, `c*` column registers, `q` the query register, `nr`/
-/// `nc` row/column counts.
+/// `nc` row/column counts. Columns are block-local (already folded
+/// through the allocator's `locate`), so each operand is checkable
+/// against the block geometry without the allocation table.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum Instruction {
-    /// Load the query register from `size` cells at `addr` of block `b`.
+    /// Load the query register with `size` bits starting at `addr` of
+    /// block `b`.
     SetQInput {
         /// Source block.
         b: usize,
@@ -33,7 +43,8 @@ pub enum Instruction {
         size: usize,
     },
     /// One 7-bit Hamming window search on block `b` over columns
-    /// `c1..c2` against the query register.
+    /// `c1..c2` against the query register. Windows never straddle a
+    /// block boundary — the runtime splits them.
     Hamm7 {
         /// Block searched.
         b: usize,
@@ -42,25 +53,46 @@ pub enum Instruction {
         /// One-past-last window column.
         c2: usize,
     },
-    /// Row-parallel arithmetic on block `b`: destination column `d`,
-    /// operand columns starting at `c1`/`c2`, scratch base `c3`.
+    /// Row-parallel arithmetic: `bits`-wide operands at block `b1`
+    /// column `c1` and block `b2` column `c2`, `dbits`-wide destination
+    /// at block `d` column `dc`, scratch columns from `c3` up.
     Arith {
         /// Which operation.
         kind: ArithKind,
-        /// Block operated on.
-        b: usize,
-        /// Destination column base.
-        d: usize,
+        /// First operand block.
+        b1: usize,
         /// First operand column base.
         c1: usize,
+        /// Second operand block.
+        b2: usize,
         /// Second operand column base.
         c2: usize,
-        /// Scratch column base.
+        /// Destination block.
+        d: usize,
+        /// Destination column base.
+        dc: usize,
+        /// Scratch column base (first reserved column, Table III).
         c3: usize,
+        /// Operand bit-width (the width the op is priced at).
+        bits: usize,
+        /// Destination bit-width.
+        dbits: usize,
     },
     /// Nearest search on block `b` over `nc` columns starting at `c`
-    /// against query register `q`; writes `rst` and `idx`.
+    /// against query value `q`; writes `rst` and `idx`.
     NearSearch {
+        /// Block searched.
+        b: usize,
+        /// Number of value columns.
+        nc: usize,
+        /// First value column.
+        c: usize,
+        /// Query value.
+        q: u64,
+    },
+    /// Native CAM exact match on block `b` over `nc` columns starting
+    /// at `c` against query value `q` (§IV-A).
+    ExactSearch {
         /// Block searched.
         b: usize,
         /// Number of value columns.
@@ -90,10 +122,48 @@ pub enum Instruction {
         /// Columns moved.
         nc: usize,
     },
+    /// Row-parallel write of `bits` bit-columns into `nr` rows of block
+    /// `b` starting at (`r`, `c`) — host loads and broadcasts.
+    Write {
+        /// Destination block.
+        b: usize,
+        /// First destination row.
+        r: usize,
+        /// First destination column.
+        c: usize,
+        /// Rows written.
+        nr: usize,
+        /// Bit-columns written.
+        bits: usize,
+    },
+    /// Row-parallel 2:1 select (NOR mux): destination block `bd`
+    /// columns `cd..cd+bits` takes the `x` operand where the flag
+    /// column (`bf`, `cf`) is set, the `y` operand elsewhere.
+    Select {
+        /// Flag block.
+        bf: usize,
+        /// Flag column (1 bit).
+        cf: usize,
+        /// `x` operand block.
+        bx: usize,
+        /// `x` operand column base.
+        cx: usize,
+        /// `y` operand block.
+        by: usize,
+        /// `y` operand column base.
+        cy: usize,
+        /// Destination block.
+        bd: usize,
+        /// Destination column base.
+        cd: usize,
+        /// Operand/destination bit-width.
+        bits: usize,
+    },
 }
 
 impl Instruction {
-    /// The instruction mnemonic as printed in Table I.
+    /// The instruction mnemonic as printed in Table I (plus the
+    /// driver-level `write`/`select`/`exact_search` entries).
     #[must_use]
     pub fn mnemonic(&self) -> &'static str {
         match self {
@@ -116,7 +186,10 @@ impl Instruction {
                 ..
             } => "div",
             Self::NearSearch { .. } => "near_search",
+            Self::ExactSearch { .. } => "exact_search",
             Self::RowMv { .. } => "row_mv",
+            Self::Write { .. } => "write",
+            Self::Select { .. } => "select",
         }
     }
 }
@@ -147,21 +220,35 @@ mod tests {
             Instruction::Hamm7 { b: 0, c1: 0, c2: 7 },
             Instruction::Arith {
                 kind: ArithKind::Add,
-                b: 0,
-                d: 0,
+                b1: 0,
                 c1: 0,
+                b2: 0,
                 c2: 0,
-                c3: 0,
+                d: 0,
+                dc: 0,
+                c3: 8,
+                bits: 8,
+                dbits: 8,
             },
             Instruction::Arith {
                 kind: ArithKind::Div,
-                b: 0,
-                d: 0,
+                b1: 0,
                 c1: 0,
+                b2: 0,
                 c2: 0,
-                c3: 0,
+                d: 0,
+                dc: 0,
+                c3: 8,
+                bits: 8,
+                dbits: 8,
             },
             Instruction::NearSearch {
+                b: 0,
+                nc: 4,
+                c: 0,
+                q: 0,
+            },
+            Instruction::ExactSearch {
                 b: 0,
                 nc: 4,
                 c: 0,
@@ -177,6 +264,24 @@ mod tests {
                 nr: 1,
                 nc: 1,
             },
+            Instruction::Write {
+                b: 0,
+                r: 0,
+                c: 0,
+                nr: 4,
+                bits: 8,
+            },
+            Instruction::Select {
+                bf: 0,
+                cf: 7,
+                bx: 1,
+                cx: 0,
+                by: 2,
+                cy: 0,
+                bd: 3,
+                cd: 0,
+                bits: 8,
+            },
         ];
         let names: Vec<_> = insts.iter().map(Instruction::mnemonic).collect();
         assert_eq!(
@@ -187,7 +292,10 @@ mod tests {
                 "add",
                 "div",
                 "near_search",
-                "row_mv"
+                "exact_search",
+                "row_mv",
+                "write",
+                "select",
             ]
         );
     }

@@ -6,17 +6,23 @@
 //! small set of built-in functions that a runtime lowers onto the PIM
 //! instructions of Table I:
 //!
-//! | instruction       | read registers              | write registers |
-//! |-------------------|-----------------------------|-----------------|
-//! | `set_qinput`      | `b, <addr>, <size>`         | `q`             |
-//! | `hamm_7`          | `b, c1, c2`                 | —               |
-//! | `add/sub/mul/div` | `b, d, c1, c2, c3`          | —               |
-//! | `near_search`     | `b, nc, c, q`               | `rst, idx`      |
-//! | `row_mv`          | `b1,r1,c1,b2,r2,c2,nr,nc`   | —               |
+//! | instruction       | read registers                  | write registers |
+//! |-------------------|---------------------------------|-----------------|
+//! | `set_qinput`      | `b, <addr>, <size>`             | `q`             |
+//! | `hamm_7`          | `b, c1, c2, q`                  | —               |
+//! | `add/sub/mul/div` | `b1,c1,b2,c2,d,dc,c3`           | —               |
+//! | `near_search`     | `b, nc, c, q`                   | `rst, idx`      |
+//! | `exact_search`    | `b, nc, c, q`                   | —               |
+//! | `row_mv`          | `b1,r1,c1,b2,r2,c2,nr,nc`       | —               |
+//! | `write`           | `b, r, c, nr, <bits>`           | —               |
+//! | `select`          | `bf,cf,bx,cx,by,cy,bd,cd`       | —               |
 //!
 //! [`Runtime`] executes these against functional
 //! [`dual_pim::MemoryBlock`]s — results are bit-exact against software —
-//! while accounting latency/energy with the Table III cost model.
+//! while accounting latency/energy with the Table III cost model. The
+//! trace is *complete*: every charged device operation appears as one
+//! entry with block-local physical addressing, which is what the
+//! `dual-isa-verify` static pass consumes (see `dual::verify`).
 //!
 //! ```rust
 //! use dual_isa::Runtime;

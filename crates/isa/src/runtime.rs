@@ -30,6 +30,8 @@ const DEFAULT_POOL_BLOCKS: usize = 64;
 #[derive(Debug, Clone)]
 pub struct Runtime {
     blocks: Vec<MemoryBlock>,
+    rows: usize,
+    cols: usize,
     data_cols: usize,
     allocator: BlockAllocator,
     regs: RegisterFile,
@@ -69,7 +71,8 @@ impl Runtime {
             blocks: (0..n_blocks)
                 .map(|_| MemoryBlock::new(rows, cols))
                 .collect(),
-
+            rows,
+            cols,
             data_cols,
             allocator: BlockAllocator::new(n_blocks, rows, data_cols),
             regs: RegisterFile::default(),
@@ -102,6 +105,36 @@ impl Runtime {
         &self.regs
     }
 
+    /// Rows per block.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total columns per block (data + arithmetic scratch).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Data columns per block (the lower half; scratch starts here).
+    #[must_use]
+    pub fn data_cols(&self) -> usize {
+        self.data_cols
+    }
+
+    /// Number of blocks in the pool.
+    #[must_use]
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The cost model pricing every issued operation.
+    #[must_use]
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
     /// Allocate a `vlca<bits>[len]`.
     ///
     /// # Errors
@@ -123,6 +156,48 @@ impl Runtime {
 
     fn allocation(&self, v: &Vlca) -> Result<Allocation, IsaError> {
         Ok(self.allocator.get(v.id)?.clone())
+    }
+
+    /// Physical anchor of a view: `(block, row, col)` of its first
+    /// element's first bit. Degenerate (empty) views clamp to the last
+    /// valid coordinate so the trace entry stays addressable.
+    fn anchor(al: &Allocation, v: &Vlca) -> (usize, usize, usize) {
+        let row = v.row_offset.min(al.len - 1);
+        let bit = v.bit_offset.min(al.bits - 1);
+        let (tbl, r, c) = al.locate(row, bit);
+        (al.blocks[tbl], r, c)
+    }
+
+    /// Emit the `hamm_7` window sweep over `v`'s bit span, splitting
+    /// windows at block (chunk) boundaries so every trace entry
+    /// addresses columns of a single block; returns the number of
+    /// window pieces issued (≥ `⌈bits/7⌉`, more when windows straddle
+    /// chunk boundaries — each piece is a real sweep the hardware pays
+    /// for).
+    fn emit_hamm7_windows(&mut self, al: &Allocation, v: &Vlca) -> u64 {
+        let group = v.row_offset.min(al.len - 1) / al.rows_per_block;
+        let windows = v.bits().div_ceil(7);
+        let mut pieces = 0u64;
+        for w in 0..windows {
+            let start = w * 7;
+            let end = (start + 7).min(v.bits());
+            let mut s = start;
+            while s < end {
+                let abs = v.bit_offset + s;
+                let chunk = abs / al.chunk_bits;
+                // One-past-last bit of this piece: the window end,
+                // clipped to the chunk's last column.
+                let piece_end = end.min((chunk + 1) * al.chunk_bits - v.bit_offset);
+                self.trace.push(Instruction::Hamm7 {
+                    b: al.blocks[group * al.chunks() + chunk],
+                    c1: abs % al.chunk_bits,
+                    c2: abs % al.chunk_bits + (piece_end - s),
+                });
+                pieces += 1;
+                s = piece_end;
+            }
+        }
+        pieces
     }
 
     fn set_bit(
@@ -170,6 +245,14 @@ impl Runtime {
                 bits: v.bits() as u32,
             },
         );
+        let (b, r, c) = Self::anchor(&al, v);
+        self.trace.push(Instruction::Write {
+            b,
+            r,
+            c,
+            nr: v.len(),
+            bits: v.bits(),
+        });
         Ok(())
     }
 
@@ -267,23 +350,15 @@ impl Runtime {
             }
             dists.push(d.min((1u64 << out.bits()) - 1));
         }
-        // Cost: one window search per 7 bits (serial), its 3-bit counter
-        // writeback, and the in-memory accumulation adds.
+        // Cost: one window search per 7 bits (serial, split at block
+        // boundaries), each piece's 3-bit counter writeback, and the
+        // in-memory accumulation adds.
+        let pieces = self.emit_hamm7_windows(&al, refs);
+        self.stats
+            .record_serial(&self.cost, Op::HammingWindow, pieces);
+        self.stats
+            .record_serial(&self.cost, Op::Write { bits: 3 }, pieces);
         let windows = refs.bits().div_ceil(7) as u64;
-        for w in 0..windows as usize {
-            let start = w * 7;
-            let end = (start + 7).min(refs.bits());
-            let chunk = start / al.chunk_bits;
-            self.trace.push(Instruction::Hamm7 {
-                b: al.blocks[chunk.min(al.blocks.len() - 1)],
-                c1: start - chunk * al.chunk_bits,
-                c2: end - chunk * al.chunk_bits,
-            });
-        }
-        self.stats
-            .record_serial(&self.cost, Op::HammingWindow, windows);
-        self.stats
-            .record_serial(&self.cost, Op::Write { bits: 3 }, windows);
         if windows > 1 {
             self.stats.record_serial(
                 &self.cost,
@@ -292,6 +367,25 @@ impl Runtime {
                 },
                 windows - 1,
             );
+            // The accumulation runs in place on the output columns —
+            // the canonical accumulator idiom (dest exactly aliases the
+            // operand).
+            let out_al = self.allocation(&out)?;
+            let (ob, _, oc) = Self::anchor(&out_al, &out);
+            for _ in 0..windows - 1 {
+                self.trace.push(Instruction::Arith {
+                    kind: ArithKind::Add,
+                    b1: ob,
+                    c1: oc,
+                    b2: ob,
+                    c2: oc,
+                    d: ob,
+                    dc: oc,
+                    c3: self.data_cols,
+                    bits: out.bits(),
+                    dbits: out.bits(),
+                });
+            }
         }
         let out_clone = out.clone();
         self.write_values_uncosted(&out_clone, &dists)?;
@@ -354,14 +448,22 @@ impl Runtime {
         };
         self.stats.record(&self.cost, op);
         let al_a = self.allocation(a)?;
+        let al_b = self.allocation(b)?;
         let al_out = self.allocation(out)?;
+        let (b1, _, c1) = Self::anchor(&al_a, a);
+        let (b2, _, c2) = Self::anchor(&al_b, b);
+        let (d, _, dc) = Self::anchor(&al_out, out);
         self.trace.push(Instruction::Arith {
             kind,
-            b: al_a.blocks[0],
-            d: al_out.blocks[0],
-            c1: a.bit_offset,
-            c2: b.bit_offset,
+            b1,
+            c1,
+            b2,
+            c2,
+            d,
+            dc,
             c3: self.data_cols,
+            bits: a.bits().max(b.bits()),
+            dbits: out.bits(),
         });
         Ok(())
     }
@@ -452,10 +554,19 @@ impl Runtime {
         self.stats
             .record_serial(&self.cost, Op::NearestStage, u64::from(stages));
         let al = self.allocation(v)?;
+        let (blk, _, c) = Self::anchor(&al, v);
+        // The staged search drives the target pattern onto the bitlines
+        // through the query register, like `hamming` does.
+        self.regs.q = (0..v.bits()).map(|i| (target >> i) & 1 == 1).collect();
+        self.trace.push(Instruction::SetQInput {
+            b: blk,
+            addr: 0,
+            size: v.bits(),
+        });
         self.trace.push(Instruction::NearSearch {
-            b: al.blocks[0],
+            b: blk,
             nc: v.bits(),
-            c: v.bit_offset,
+            c,
             q: target,
         });
         self.regs.idx = found.0 as u64;
@@ -533,20 +644,11 @@ impl Runtime {
                 }
             }
         }
-        for w in 0..windows {
-            let start = w * 7;
-            let end = (start + 7).min(refs.bits());
-            let chunk = start / al.chunk_bits;
-            self.trace.push(Instruction::Hamm7 {
-                b: al.blocks[chunk.min(al.blocks.len() - 1)],
-                c1: start - chunk * al.chunk_bits,
-                c2: end - chunk * al.chunk_bits,
-            });
-        }
+        let pieces = self.emit_hamm7_windows(&al, refs);
         self.stats
-            .record_serial(&self.cost, Op::HammingWindow, windows as u64);
+            .record_serial(&self.cost, Op::HammingWindow, pieces);
         self.stats
-            .record_serial(&self.cost, Op::Write { bits: 3 }, windows as u64);
+            .record_serial(&self.cost, Op::Write { bits: 3 }, pieces);
         Ok((out, windows as u32))
     }
 
@@ -580,13 +682,30 @@ impl Runtime {
             }
         }
         // Tree reduction, pricing one row-parallel add per pair per level
-        // at the running bit-width.
+        // at the running bit-width. The adds run in place on the
+        // partials columns (the accumulator idiom: dest exactly aliases
+        // the operand).
+        let (pb, _, pc) = Self::anchor(&al, partials);
         let mut width = 3u32;
         let mut live = w;
         while live > 1 {
             let pairs = live / 2;
             self.stats
                 .record_serial(&self.cost, Op::Add { bits: width }, pairs as u64);
+            for _ in 0..pairs {
+                self.trace.push(Instruction::Arith {
+                    kind: ArithKind::Add,
+                    b1: pb,
+                    c1: pc,
+                    b2: pb,
+                    c2: pc,
+                    d: pb,
+                    dc: pc,
+                    c3: self.data_cols,
+                    bits: width as usize,
+                    dbits: width as usize,
+                });
+            }
             for row_sums in &mut sums {
                 let mut next = Vec::with_capacity(live.div_ceil(2));
                 for pair in row_sums.chunks(2) {
@@ -644,6 +763,25 @@ impl Runtime {
                 bits: out.bits() as u32,
             },
         );
+        let al_f = self.allocation(flag)?;
+        let al_x = self.allocation(x)?;
+        let al_y = self.allocation(y)?;
+        let al_out = self.allocation(out)?;
+        let (bf, _, cf) = Self::anchor(&al_f, flag);
+        let (bx, _, cx) = Self::anchor(&al_x, x);
+        let (by, _, cy) = Self::anchor(&al_y, y);
+        let (bd, _, cd) = Self::anchor(&al_out, out);
+        self.trace.push(Instruction::Select {
+            bf,
+            cf,
+            bx,
+            cx,
+            by,
+            cy,
+            bd,
+            cd,
+            bits: out.bits(),
+        });
         Ok(())
     }
 
@@ -666,10 +804,17 @@ impl Runtime {
         self.stats
             .record_serial(&self.cost, Op::NearestStage, u64::from(stages));
         let al = self.allocation(v)?;
-        self.trace.push(Instruction::NearSearch {
-            b: al.blocks[0],
+        let (blk, _, c) = Self::anchor(&al, v);
+        self.regs.q = (0..v.bits()).map(|i| (target >> i) & 1 == 1).collect();
+        self.trace.push(Instruction::SetQInput {
+            b: blk,
+            addr: 0,
+            size: v.bits(),
+        });
+        self.trace.push(Instruction::ExactSearch {
+            b: blk,
             nc: v.bits(),
-            c: v.bit_offset,
+            c,
             q: target,
         });
         Ok(values
@@ -699,6 +844,15 @@ impl Runtime {
                 bits: v.bits() as u32,
             },
         );
+        let al = self.allocation(v)?;
+        let (b, r, c) = Self::anchor(&al, v);
+        self.trace.push(Instruction::Write {
+            b,
+            r,
+            c,
+            nr: v.len(),
+            bits: v.bits(),
+        });
         Ok(())
     }
 
@@ -734,14 +888,23 @@ impl Runtime {
                     bits: first.bits() as u32,
                 },
             );
-            let al = self.allocation(col)?;
+            // The comparison subtracts the running best (held in the
+            // first column set) from this column in place.
+            let al_col = self.allocation(col)?;
+            let al_first = self.allocation(first)?;
+            let (cb, _, cc) = Self::anchor(&al_col, col);
+            let (fb, _, fc) = Self::anchor(&al_first, first);
             self.trace.push(Instruction::Arith {
                 kind: ArithKind::Sub,
-                b: al.blocks[0],
-                d: al.blocks[0],
-                c1: col.bit_offset,
-                c2: first.bit_offset,
+                b1: cb,
+                c1: cc,
+                b2: fb,
+                c2: fc,
+                d: cb,
+                dc: cc,
                 c3: self.data_cols,
+                bits: first.bits(),
+                dbits: col.bits(),
             });
             for (i, &v) in vals.iter().enumerate() {
                 if v < best_vals[i] {
@@ -777,13 +940,15 @@ impl Runtime {
                 bits: src.bits() as u32,
             },
         );
+        let (b1, r1, c1) = Self::anchor(&al_src, src);
+        let (b2, r2, c2) = Self::anchor(&al_dst, dst);
         self.trace.push(Instruction::RowMv {
-            b1: al_src.blocks[0],
-            r1: src.row_offset,
-            c1: src.bit_offset,
-            b2: al_dst.blocks[0],
-            r2: dst.row_offset,
-            c2: dst.bit_offset,
+            b1,
+            r1,
+            c1,
+            b2,
+            r2,
+            c2,
             nr: src.len(),
             nc: src.bits(),
         });

@@ -15,6 +15,12 @@ pub fn library_code(x: Option<u8>, y: Result<u8, ()>) -> u8 {
     }
 }
 
+pub fn err_duals_count_too(y: Result<u8, u8>) -> u8 {
+    let e = y.unwrap_err(); // finding 6
+    let f = y.expect_err("boom"); // finding 7
+    e + f
+}
+
 pub fn strings_and_comments_do_not_count() -> &'static str {
     // a comment mentioning .unwrap() and panic! is not a finding
     "a string mentioning x.unwrap() and panic!(\"no\") is not a finding"

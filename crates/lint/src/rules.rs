@@ -3,7 +3,7 @@
 //!
 //! | id              | invariant                                                          |
 //! |-----------------|--------------------------------------------------------------------|
-//! | `r1-panic`      | no `unwrap()` / `expect()` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` in library code |
+//! | `r1-panic`      | no `unwrap()` / `expect()` / `unwrap_err()` / `expect_err()` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` in library code |
 //! | `r2-hash-iter`  | no `HashMap` / `HashSet` in result-producing crates (hash iteration order reorders f64 folds) |
 //! | `r2-time`       | no `SystemTime` / `Instant` feeding simulator outputs              |
 //! | `r3-lossy-cast` | numeric `as` casts in the timing/energy cost-model files must be justified |
@@ -74,7 +74,8 @@ impl RuleId {
     pub fn describe(self) -> &'static str {
         match self {
             Self::R1Panic => {
-                "library code must not use unwrap()/expect()/panic!/unreachable!/todo!/unimplemented!"
+                "library code must not use unwrap()/expect() (nor their _err duals), \
+                 panic!/unreachable!/todo!/unimplemented!"
             }
             Self::R2HashIter => {
                 "result-producing crates must not use HashMap/HashSet (hash iteration order \
@@ -132,7 +133,7 @@ impl Default for RuleConfig {
     fn default() -> Self {
         Self {
             result_crates: [
-                "pim", "cluster", "core", "hdc", "stream", "obs", "fault", "snap",
+                "pim", "cluster", "core", "hdc", "stream", "obs", "fault", "snap", "verify",
             ]
             .iter()
             .map(ToString::to_string)
@@ -146,6 +147,7 @@ impl Default for RuleConfig {
                 "crates/pim/src/streaming.rs",
                 "crates/pim/src/variation.rs",
                 "crates/core/src/perf.rs",
+                "crates/verify/src/verifier.rs",
                 "crates/bench/src/bin/fault_sweep.rs",
             ]
             .iter()
@@ -221,8 +223,12 @@ pub fn analyze_source(rel_path: &str, src: &str, cfg: &RuleConfig) -> Vec<Violat
 
         // R1: panic-freedom.
         if !exempt_file && !exempt_tokens[k] {
-            let method_panic =
-                (name == "unwrap" || name == "expect") && prev_punct('.') && next_punct('(');
+            let method_panic = (name == "unwrap"
+                || name == "expect"
+                || name == "unwrap_err"
+                || name == "expect_err")
+                && prev_punct('.')
+                && next_punct('(');
             let macro_panic = R1_MACROS.contains(&name.as_str()) && next_punct('!');
             if method_panic || macro_panic {
                 let what = if macro_panic {

@@ -31,9 +31,10 @@ fn count(violations: &[dual_lint::rules::Violation], rule: RuleId) -> usize {
 fn r1_fires_on_every_panic_pattern_in_library_code() {
     let src = fixture("r1_panic.rs");
     let v = analyze_source("crates/pim/src/fixture.rs", &src, &RuleConfig::default());
-    // unwrap, expect, panic!, unreachable!, todo! — and nothing from the
-    // test mod, the comment, or the string literal.
-    assert_eq!(count(&v, RuleId::R1Panic), 5, "{v:#?}");
+    // unwrap, expect, panic!, unreachable!, todo!, unwrap_err,
+    // expect_err — and nothing from the test mod, the comment, or the
+    // string literal.
+    assert_eq!(count(&v, RuleId::R1Panic), 7, "{v:#?}");
     assert_eq!(count(&v, RuleId::Config), 0, "{v:#?}");
 }
 

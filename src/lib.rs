@@ -15,6 +15,7 @@
 //! | [`cluster`] | `dual-cluster` | hierarchical / k-means / DBSCAN over any metric |
 //! | [`pim`] | `dual-pim` | crossbar blocks, CAM search, NOR arithmetic, cost models |
 //! | [`isa`] | `dual-isa` | VLCA arrays, Table I instructions, allocator, runtime |
+//! | [`verify`] | `dual-isa-verify` | static dataflow verifier for PIM instruction traces |
 //! | [`core`] | `dual-core` | the accelerator: functional path + performance model |
 //! | [`baseline`] | `dual-baseline` | calibrated GPU (GTX 1080) and IMP comparators |
 //! | [`data`] | `dual-data` | Table IV workload generators |
@@ -56,6 +57,7 @@ pub use dual_data as data;
 pub use dual_fault as fault;
 pub use dual_hdc as hdc;
 pub use dual_isa as isa;
+pub use dual_isa_verify as verify;
 pub use dual_obs as obs;
 pub use dual_pim as pim;
 pub use dual_snap as snap;

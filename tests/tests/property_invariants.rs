@@ -262,3 +262,211 @@ proptest! {
         );
     }
 }
+
+// ------------------------------------------------------------------
+// dual-isa-verify: static verification invariants (DESIGN.md §10).
+
+/// Interpret a byte stream as a random — but *valid* — PIM program: a
+/// tiny op-code machine over a live [`dual_isa::Runtime`]. Ops whose
+/// preconditions don't hold at that point in the stream are skipped,
+/// so every generated program executes successfully end to end.
+fn random_valid_program(ops: &[u8]) -> dual_isa::Runtime {
+    use dual_isa::Runtime;
+    let mut rt = Runtime::with_pool(64, 128, 24).expect("valid geometry");
+    let mut allocs = Vec::new();
+    for c in ops.chunks_exact(4) {
+        let (op, x, y, z) = (c[0] % 8, c[1] as usize, c[2] as usize, c[3] as u64);
+        match op {
+            0 => {
+                // Fresh VLCA: 2..=12 bits, 1..=16 elements.
+                let bits = 2 + x % 11;
+                let len = 1 + y % 16;
+                if let Ok(v) = rt.alloc(bits, len) {
+                    allocs.push(v);
+                }
+            }
+            1 if !allocs.is_empty() => {
+                // Row-parallel write of in-range values.
+                let v = &allocs[x % allocs.len()];
+                let mask = if v.bits() >= 64 {
+                    u64::MAX
+                } else {
+                    (1 << v.bits()) - 1
+                };
+                let vals: Vec<u64> = (0..v.len())
+                    .map(|i| (z.wrapping_add(i as u64)) & mask)
+                    .collect();
+                rt.write_values(v, &vals).expect("shape matches");
+            }
+            2 if allocs.len() >= 2 => {
+                // Arithmetic over two same-length VLCAs into a fresh out.
+                let a = allocs[x % allocs.len()].clone();
+                let b = allocs[y % allocs.len()].clone();
+                if a.len() == b.len() {
+                    let obits = (a.bits().max(b.bits()) + 1 + (z as usize) % 4).min(24);
+                    if let Ok(out) = rt.alloc(obits, a.len()) {
+                        let r = match z % 4 {
+                            0 => rt.add(&a, &b, &out),
+                            1 => rt.sub(&a, &b, &out),
+                            2 => rt.mul(&a, &b, &out),
+                            _ => rt.div(&a, &b, &out),
+                        };
+                        // Width/shape misfits (e.g. mul overflow) are
+                        // legal to refuse; refused ops emit nothing.
+                        let _ = r;
+                        allocs.push(out);
+                    }
+                }
+            }
+            3 if !allocs.is_empty() => {
+                // Hamming distance against a derived query pattern.
+                let v = allocs[x % allocs.len()].clone();
+                let query: Vec<bool> = (0..v.bits()).map(|i| (z >> (i % 64)) & 1 == 1).collect();
+                if let Ok(d) = rt.hamming(&query, &v) {
+                    allocs.push(d);
+                }
+            }
+            4 if !allocs.is_empty() => {
+                // Nearest search for an in-range target.
+                let v = allocs[x % allocs.len()].clone();
+                let mask = if v.bits() >= 64 {
+                    u64::MAX
+                } else {
+                    (1 << v.bits()) - 1
+                };
+                let _ = rt.near_search(&v, z & mask);
+            }
+            5 if !allocs.is_empty() => {
+                // Exact search (may legitimately find nothing).
+                let v = allocs[x % allocs.len()].clone();
+                let mask = if v.bits() >= 64 {
+                    u64::MAX
+                } else {
+                    (1 << v.bits()) - 1
+                };
+                let _ = rt.exact_search(&v, z & mask);
+            }
+            6 if !allocs.is_empty() => {
+                // Broadcast an in-range constant.
+                let v = allocs[x % allocs.len()].clone();
+                let mask = if v.bits() >= 64 {
+                    u64::MAX
+                } else {
+                    (1 << v.bits()) - 1
+                };
+                rt.broadcast(&v, z & mask).expect("width fits");
+            }
+            7 if allocs.len() >= 2 => {
+                // Block-to-block move between same-shape VLCAs.
+                let a = allocs[x % allocs.len()].clone();
+                let b = allocs[y % allocs.len()].clone();
+                if a.bits() == b.bits() && a.len() == b.len() && a != b {
+                    rt.row_mv(&a, &b).expect("shapes match");
+                }
+            }
+            _ => {}
+        }
+    }
+    rt
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Soundness of the runtime/verifier pair: EVERY trace a
+    /// successfully-executed random program leaves behind passes static
+    /// verification — geometry, query dataflow, hazards, and the exact
+    /// cost cross-check against the executed stats.
+    #[test]
+    fn prop_verify_random_valid_programs_are_clean(
+        ops in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..160),
+    ) {
+        use dual_isa_verify::RuntimeVerify;
+        let rt = random_valid_program(&ops);
+        let report = rt.verify_trace();
+        prop_assert!(
+            report.is_clean(),
+            "clean program rejected: {:?}",
+            report.errors().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(report.instructions, rt.trace().len());
+    }
+
+    /// Completeness against single-operand corruption: flipping one
+    /// field of one instruction out of its legal range is caught, with
+    /// the *expected* typed diagnostic class.
+    #[test]
+    fn prop_verify_rejects_single_operand_mutations(
+        ops in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 64..160),
+        pick in proptest::arbitrary::any::<u64>(),
+        kind in 0u8..5,
+    ) {
+        use dual_isa::Instruction;
+        use dual_isa_verify::{Geometry, Verifier};
+        let rt = random_valid_program(&ops);
+        let geom = Geometry::of_runtime(&rt);
+        let mut trace = rt.trace().to_vec();
+        // Candidate instructions this mutation kind applies to.
+        let applies = |i: &Instruction| match kind {
+            0 | 1 => !matches!(i, Instruction::Hamm7 { .. }), // block/width fields
+            2 => matches!(i, Instruction::Hamm7 { .. }),
+            3 => matches!(i, Instruction::SetQInput { .. }),
+            _ => matches!(i, Instruction::Arith { .. }),
+        };
+        let idxs: Vec<usize> = trace
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| applies(i))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!idxs.is_empty());
+        let at = idxs[(pick as usize) % idxs.len()];
+        let expected = match (kind, &mut trace[at]) {
+            (0, Instruction::SetQInput { b, .. })
+            | (0, Instruction::NearSearch { b, .. })
+            | (0, Instruction::ExactSearch { b, .. })
+            | (0, Instruction::Write { b, .. })
+            | (0, Instruction::Select { bd: b, .. })
+            | (0, Instruction::RowMv { b1: b, .. })
+            | (0, Instruction::Arith { d: b, .. }) => {
+                *b = geom.blocks + 1;
+                "block-out-of-range"
+            }
+            (1, Instruction::SetQInput { size: w, .. })
+            | (1, Instruction::NearSearch { nc: w, .. })
+            | (1, Instruction::ExactSearch { nc: w, .. })
+            | (1, Instruction::Write { bits: w, .. })
+            | (1, Instruction::Select { bits: w, .. })
+            | (1, Instruction::RowMv { nc: w, .. })
+            | (1, Instruction::Arith { bits: w, .. }) => {
+                *w = 0;
+                "zero-width"
+            }
+            (2, Instruction::Hamm7 { c1, c2, .. }) => {
+                *c2 = *c1 + 9;
+                "window-too-wide"
+            }
+            (3, Instruction::SetQInput { size, .. }) => {
+                *size = 0;
+                "zero-width"
+            }
+            (_, Instruction::Arith { b2, c2, d, dc, dbits, .. }) => {
+                *b2 = *d;
+                *c2 = *dc + 1;
+                prop_assume!(*dbits > 1); // 1-bit spans cannot partially overlap
+                "operand-overlaps-destination"
+            }
+            _ => {
+                prop_assume!(false);
+                unreachable!()
+            }
+        };
+        let report = Verifier::new(geom).check(&trace);
+        let classes: Vec<&str> = report.errors().map(|d| d.error.class()).collect();
+        prop_assert!(
+            classes.contains(&expected),
+            "mutation kind {} at {} ({:?}) not rejected as {}: got {:?}",
+            kind, at, trace[at], expected, classes
+        );
+    }
+}
