@@ -23,10 +23,11 @@
 #   determinism  seed x DUAL_THREADS matrix: reports must be byte-identical
 #   recovery     crash/restore/replay harness across DUAL_THREADS, byte-diffed
 #   verify-isa   static dataflow verification of every PIM trace + mutation gate
+#   topology     multi-tenant sweep: isolation report byte-diffed across DUAL_THREADS
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(build test doc clippy fmt lint bench obs fault determinism recovery verify-isa)
+ALL_STAGES=(build test doc clippy fmt lint bench obs fault determinism recovery verify-isa topology)
 
 # ---------------------------------------------------------------- stages
 
@@ -171,6 +172,29 @@ stage_verify_isa() {
   done
   diff "$tmp/isa_verify_0.json" results/isa_verify.json \
     || { echo "isa_verify.json drifted: regenerate and commit it"; return 1; }
+  echo "    reports byte-identical across DUAL_THREADS in {0, 2, 8}"
+  rm -rf "$tmp"
+}
+
+stage_topology() {
+  local tmp
+  tmp=$(mktemp -d)
+  echo "--- tenant_sweep: 4 tenants x workloads x quota tiers under DUAL_THREADS in {0, 2, 8}"
+  # The bin itself asserts per-tenant isolation (a fault storm in one
+  # tenant leaves every other tenant's outputs bit-identical) and the
+  # exact per-tenant energy-ledger sum; the sweep here pins the report
+  # bytes across thread counts and against the committed artifact.
+  for threads in 0 2 8; do
+    DUAL_THREADS=$threads cargo run -q -p dual-bench --release --bin tenant_sweep -- \
+      --out "$tmp/topology_$threads.json" >/dev/null
+    echo "    DUAL_THREADS=$threads ok"
+  done
+  for threads in 2 8; do
+    diff "$tmp/topology_0.json" "$tmp/topology_$threads.json" \
+      || { echo "topology report diverged at DUAL_THREADS=$threads"; return 1; }
+  done
+  diff "$tmp/topology_0.json" results/topology_report.json \
+    || { echo "topology_report.json drifted: regenerate and commit it"; return 1; }
   echo "    reports byte-identical across DUAL_THREADS in {0, 2, 8}"
   rm -rf "$tmp"
 }

@@ -135,9 +135,9 @@ pub enum Kind {
 }
 
 /// Number of counter slots.
-pub(crate) const N_COUNTERS: usize = 30;
+pub(crate) const N_COUNTERS: usize = 35;
 /// Number of gauge slots.
-pub(crate) const N_GAUGES: usize = 28;
+pub(crate) const N_GAUGES: usize = 29;
 /// Number of histogram slots.
 pub(crate) const N_HISTS: usize = 5;
 
@@ -211,6 +211,18 @@ pub enum Key {
     /// of the process run (a restored run counts one, the uninterrupted
     /// run it replays counts zero), not of the workload.
     SnapRestored,
+    /// Topology: tenant engine ticks the fair-share scheduler drove.
+    TopoScheduled,
+    /// Topology: tenant ticks deferred because the tenant was over its
+    /// energy budget.
+    TopoDeferred,
+    /// Topology: pushes refused by quota escalation (`Reject`).
+    TopoQuotaRejected,
+    /// Topology: pushes that evicted a buffered point under quota
+    /// escalation (`DropOldest` while over budget, ring full).
+    TopoQuotaShed,
+    /// Topology: per-tenant checkpoints captured.
+    TopoCheckpoints,
     // ---- gauges ---------------------------------------------------------
     /// Modeled chip latency of one pipeline stage, nanoseconds.
     PhaseTimeNs(Stage),
@@ -235,6 +247,8 @@ pub enum Key {
     SnapBytes,
     /// Logical tick the most recent snapshot captured.
     SnapLastTick,
+    /// Tenants hosted by the topology service.
+    TopoTenants,
     // ---- histograms -----------------------------------------------------
     /// Points per committed stream micro-batch.
     StreamBatchPoints,
@@ -282,6 +296,11 @@ impl Key {
         Key::FaultRequeued,
         Key::SnapCaptured,
         Key::SnapRestored,
+        Key::TopoScheduled,
+        Key::TopoDeferred,
+        Key::TopoQuotaRejected,
+        Key::TopoQuotaShed,
+        Key::TopoCheckpoints,
         Key::PhaseTimeNs(Stage::Encoding),
         Key::PhaseTimeNs(Stage::Hamming),
         Key::PhaseTimeNs(Stage::Accumulate),
@@ -310,6 +329,7 @@ impl Key {
         Key::FaultRereadReads,
         Key::SnapBytes,
         Key::SnapLastTick,
+        Key::TopoTenants,
         Key::StreamBatchPoints,
         Key::SpanKmeansFit,
         Key::SpanDbscanFit,
@@ -351,6 +371,11 @@ impl Key {
             Self::FaultRequeued => (Kind::Counter, 27),
             Self::SnapCaptured => (Kind::Counter, 28),
             Self::SnapRestored => (Kind::Counter, 29),
+            Self::TopoScheduled => (Kind::Counter, 30),
+            Self::TopoDeferred => (Kind::Counter, 31),
+            Self::TopoQuotaRejected => (Kind::Counter, 32),
+            Self::TopoQuotaShed => (Kind::Counter, 33),
+            Self::TopoCheckpoints => (Kind::Counter, 34),
             Self::PhaseTimeNs(s) => (Kind::Gauge, s.index()),
             Self::PhaseEnergyPj(s) => (Kind::Gauge, Stage::ALL.len() + s.index()),
             Self::PimTimeNs => (Kind::Gauge, 12),
@@ -362,6 +387,7 @@ impl Key {
             Self::FaultRereadReads => (Kind::Gauge, 25),
             Self::SnapBytes => (Kind::Gauge, 26),
             Self::SnapLastTick => (Kind::Gauge, 27),
+            Self::TopoTenants => (Kind::Gauge, 28),
             Self::StreamBatchPoints => (Kind::Histogram, 0),
             Self::SpanKmeansFit => (Kind::Histogram, 1),
             Self::SpanDbscanFit => (Kind::Histogram, 2),
@@ -410,6 +436,11 @@ impl Key {
             Self::FaultRequeued => "fault.requeued",
             Self::SnapCaptured => "snap.captured",
             Self::SnapRestored => "snap.restored",
+            Self::TopoScheduled => "topology.scheduled_ticks",
+            Self::TopoDeferred => "topology.quota.deferred",
+            Self::TopoQuotaRejected => "topology.quota.rejected",
+            Self::TopoQuotaShed => "topology.quota.shed",
+            Self::TopoCheckpoints => "topology.checkpoints",
             Self::PhaseTimeNs(s) => match s {
                 Stage::Encoding => "phase.encoding.time_ns",
                 Stage::Hamming => "phase.hamming.time_ns",
@@ -444,6 +475,7 @@ impl Key {
             Self::FaultRereadReads => "fault.reread.reads",
             Self::SnapBytes => "snap.bytes",
             Self::SnapLastTick => "snap.last_tick",
+            Self::TopoTenants => "topology.tenants",
             Self::StreamBatchPoints => "stream.batch_points",
             Self::SpanKmeansFit => "span.kmeans_fit",
             Self::SpanDbscanFit => "span.dbscan_fit",

@@ -96,7 +96,7 @@ pub fn bucket_bound(i: usize) -> u64 {
 /// The metric store. Create one per scope that needs isolated numbers
 /// (e.g. every `StreamEngine` owns one), or install a process-global
 /// instance with [`crate::install_global`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Registry {
     /// `counters[shard][slot]`.
     counters: [[AtomicU64; N_COUNTERS]; NUM_SHARDS],
@@ -104,6 +104,20 @@ pub struct Registry {
     gauges: [AtomicU64; N_GAUGES],
     hists: [Hist; N_HISTS],
     clock: AtomicU64,
+}
+
+// Hand-written because `Default` is not derivable for atomic arrays
+// past 32 slots; `N_COUNTERS` outgrew that when the topology vocabulary
+// landed. `from_fn` keeps this zero-cost and slot-count agnostic.
+impl Default for Registry {
+    fn default() -> Self {
+        Self {
+            counters: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            gauges: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: std::array::from_fn(|_| Hist::default()),
+            clock: AtomicU64::new(0),
+        }
+    }
 }
 
 impl Clone for Registry {
@@ -358,6 +372,17 @@ impl Snapshot {
     /// deterministic across platforms; no wall-clock field exists.
     #[must_use]
     pub fn to_json(&self) -> String {
+        self.to_json_namespaced("")
+    }
+
+    /// [`Snapshot::to_json`] with every metric name prefixed by
+    /// `namespace` — the multi-tenant export: a topology renders each
+    /// tenant's registry under `tenant.<name>.` so one merged document
+    /// carries every tenant's metrics without key collisions. The
+    /// prefix participates in the lexical key order exactly as written
+    /// (pass a trailing dot yourself: `"tenant.alice."`).
+    #[must_use]
+    pub fn to_json_namespaced(&self, namespace: &str) -> String {
         let mut out = String::new();
         out.push_str("{\"clock\":");
         let _ = write!(out, "{}", self.clock);
@@ -366,14 +391,14 @@ impl Snapshot {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "\"{name}\":{v}");
+            let _ = write!(out, "\"{namespace}{name}\":{v}");
         }
         out.push_str("},\"gauges\":{");
         for (i, (name, v)) in self.gauges.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "\"{name}\":{}", json_f64(*v));
+            let _ = write!(out, "\"{namespace}{name}\":{}", json_f64(*v));
         }
         out.push_str("},\"histograms\":{");
         for (i, (name, h)) in self.histograms.iter().enumerate() {
@@ -382,7 +407,7 @@ impl Snapshot {
             }
             let _ = write!(
                 out,
-                "\"{name}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                "\"{namespace}{name}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
                 h.count, h.sum
             );
             for (j, b) in h.buckets.iter().enumerate() {
@@ -531,6 +556,24 @@ mod tests {
         assert!(json.contains("\"pim.time_ns\":2.0"));
         assert!(json.contains("\"pim.energy_pj\":0.125"));
         assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn namespaced_json_prefixes_every_metric_name() {
+        let r = Registry::new();
+        r.add(Key::StreamIngested, 4);
+        r.gauge(Key::PimTimeNs, 2.0);
+        r.observe(Key::StreamBatchPoints, 3);
+        r.tick(7);
+        let snap = r.snapshot();
+        let json = snap.to_json_namespaced("tenant.alice.");
+        assert!(json.contains("\"tenant.alice.stream.ingested\":4"));
+        assert!(json.contains("\"tenant.alice.pim.time_ns\":2.0"));
+        assert!(json.contains("\"tenant.alice.stream.batch_points\""));
+        // The clock is structural, not a metric name — never prefixed.
+        assert!(json.starts_with("{\"clock\":7,"));
+        // Empty prefix is the plain render.
+        assert_eq!(snap.to_json_namespaced(""), snap.to_json());
     }
 
     #[test]

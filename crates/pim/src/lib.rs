@@ -65,4 +65,4 @@ pub use cost::{CostModel, Op};
 pub use device::{DeviceParams, DeviceVariation};
 pub use error::PimError;
 pub use stats::EnergyStats;
-pub use streaming::{StreamBatchCost, StreamMeter};
+pub use streaming::{EnergyBudget, StreamBatchCost, StreamMeter};

@@ -187,6 +187,117 @@ impl StreamMeter {
     }
 }
 
+/// An admission-control ledger pricing a tenant's ingest quota in chip
+/// energy: each logical topology tick grants `per_tick_pj` picojoules
+/// of credit, and the tenant is *over budget* whenever the energy its
+/// [`StreamMeter`] has actually spent exceeds the credit granted so
+/// far. The ledger never spends — it only grants and compares — so the
+/// meter remains the single source of truth for what the chip did.
+///
+/// Determinism: credit is granted one tick at a time by repeated
+/// addition (`granted += per_tick`), never by a `ticks × per_tick`
+/// multiply, so the granted total is the exact same f64 fold on every
+/// run regardless of when callers observe it.
+///
+/// ```rust
+/// use dual_pim::EnergyBudget;
+///
+/// let mut b = EnergyBudget::per_tick(10.0);
+/// b.grant_tick();
+/// assert!(!b.over(10.0)); // spending the full credit is in budget
+/// assert!(b.over(10.5));
+/// b.grant_tick();
+/// assert!(!b.over(10.5));
+/// assert!(!EnergyBudget::unlimited().over(f64::MAX));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBudget {
+    per_tick_pj: f64,
+    granted_pj: f64,
+    ticks: u64,
+}
+
+impl EnergyBudget {
+    /// A ledger granting `per_tick_pj` picojoules per tick, with no
+    /// ticks granted yet. Non-finite or negative rates are clamped to
+    /// unlimited / zero respectively so the ledger can't go NaN.
+    #[must_use]
+    pub fn per_tick(per_tick_pj: f64) -> Self {
+        let rate = if per_tick_pj.is_nan() || per_tick_pj < 0.0 {
+            0.0
+        } else {
+            per_tick_pj
+        };
+        Self {
+            per_tick_pj: rate,
+            granted_pj: 0.0,
+            ticks: 0,
+        }
+    }
+
+    /// A ledger that never runs out: infinite credit per tick.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::per_tick(f64::INFINITY)
+    }
+
+    /// Rebuild a ledger from exported state — the snapshot-restore
+    /// path. `granted_pj` is taken verbatim (bit-exact), so a restored
+    /// ledger continues the same repeated-addition fold.
+    #[must_use]
+    pub fn restore(per_tick_pj: f64, granted_pj: f64, ticks: u64) -> Self {
+        let mut b = Self::per_tick(per_tick_pj);
+        b.granted_pj = granted_pj;
+        b.ticks = ticks;
+        b
+    }
+
+    /// Grant one tick's worth of credit.
+    pub fn grant_tick(&mut self) {
+        self.granted_pj += self.per_tick_pj;
+        self.ticks += 1;
+    }
+
+    /// Credit rate, picojoules per tick (`+inf` for unlimited).
+    #[must_use]
+    pub fn rate_pj(&self) -> f64 {
+        self.per_tick_pj
+    }
+
+    /// Total credit granted so far, picojoules.
+    #[must_use]
+    pub fn granted_pj(&self) -> f64 {
+        self.granted_pj
+    }
+
+    /// Ticks granted so far.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// True when the ledger never constrains admission.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.per_tick_pj == f64::INFINITY
+    }
+
+    /// Is `spent_pj` strictly beyond the granted credit? Spending the
+    /// credit exactly is still in budget, so a zero-rate ledger with
+    /// zero spend admits (useful for drained tenants). An unlimited
+    /// ledger is never over, even before its first grant.
+    #[must_use]
+    pub fn over(&self, spent_pj: f64) -> bool {
+        !self.is_unlimited() && spent_pj > self.granted_pj
+    }
+
+    /// Credit left after `spent_pj`, clamped at zero.
+    #[must_use]
+    pub fn headroom_pj(&self, spent_pj: f64) -> f64 {
+        (self.granted_pj - spent_pj).max(0.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,5 +354,66 @@ mod tests {
         m.record_parallel(Op::HammingWindow, 10);
         let b = m.commit_batch(10);
         assert!((b.energy_pj_per_point() - 1.632).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_grants_by_repeated_addition() {
+        let mut b = EnergyBudget::per_tick(0.1);
+        for _ in 0..10 {
+            b.grant_tick();
+        }
+        // The fold is 0.1 added ten times — NOT 10 × 0.1 — and must be
+        // bit-reproducible as exactly that sum.
+        let mut want = 0.0f64;
+        for _ in 0..10 {
+            want += 0.1;
+        }
+        assert_eq!(b.granted_pj().to_bits(), want.to_bits());
+        assert_eq!(b.ticks(), 10);
+    }
+
+    #[test]
+    fn budget_over_is_strict_and_exact_spend_admits() {
+        let mut b = EnergyBudget::per_tick(5.0);
+        assert!(!b.over(0.0));
+        assert!(b.over(0.1));
+        b.grant_tick();
+        assert!(!b.over(5.0));
+        assert!(b.over(5.0000001));
+        assert_eq!(b.headroom_pj(3.0), 2.0);
+        assert_eq!(b.headroom_pj(9.0), 0.0);
+    }
+
+    #[test]
+    fn unlimited_budget_never_constrains() {
+        let mut b = EnergyBudget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(!b.over(f64::MAX));
+        b.grant_tick();
+        assert!(b.granted_pj().is_infinite());
+        assert!(!b.over(f64::MAX));
+    }
+
+    #[test]
+    fn budget_sanitizes_degenerate_rates() {
+        assert_eq!(EnergyBudget::per_tick(f64::NAN).rate_pj(), 0.0);
+        assert_eq!(EnergyBudget::per_tick(-1.0).rate_pj(), 0.0);
+        let mut zero = EnergyBudget::per_tick(0.0);
+        zero.grant_tick();
+        assert!(!zero.over(0.0));
+        assert!(zero.over(f64::MIN_POSITIVE));
+    }
+
+    #[test]
+    fn budget_restore_continues_the_same_fold() {
+        let mut a = EnergyBudget::per_tick(0.3);
+        for _ in 0..7 {
+            a.grant_tick();
+        }
+        let mut b = EnergyBudget::restore(a.rate_pj(), a.granted_pj(), a.ticks());
+        assert_eq!(a, b);
+        a.grant_tick();
+        b.grant_tick();
+        assert_eq!(a.granted_pj().to_bits(), b.granted_pj().to_bits());
     }
 }

@@ -40,6 +40,17 @@ impl Writer {
             self.put_u64(x);
         }
     }
+
+    /// Count-prefixed raw byte sequence.
+    pub(crate) fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(len_u64(v.len()));
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Count-prefixed UTF-8 string (encoded as its bytes).
+    pub(crate) fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
 }
 
 /// `usize` length → wire `u64` (lossless on every supported target).
@@ -128,6 +139,96 @@ impl<'a> Reader<'a> {
         }
         Ok(out)
     }
+
+    /// Count-prefixed raw byte sequence.
+    pub(crate) fn bytes(&mut self) -> Result<Vec<u8>, SnapError> {
+        let n = self.count(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Count-prefixed UTF-8 string; invalid UTF-8 fails closed.
+    pub(crate) fn str_utf8(&mut self) -> Result<String, SnapError> {
+        String::from_utf8(self.bytes()?).map_err(|_| SnapError::Corrupt {
+            reason: "string is not UTF-8",
+        })
+    }
+}
+
+/// Fixed frame header size: magic + version + payload length.
+pub(crate) const HEADER_LEN: usize = 16;
+
+/// Trailing frame checksum size.
+pub(crate) const CHECKSUM_LEN: usize = 8;
+
+/// Wrap `payload` in the shared frame: magic, version, length,
+/// payload, FNV-1a-64 checksum over everything before the checksum.
+/// Every blob family in this crate (`DSNP` engine snapshots, `DTNP`
+/// tenant checkpoints) uses this exact envelope.
+pub(crate) fn frame(magic: [u8; 4], version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    for b in magic {
+        w.put_u8(b);
+    }
+    w.put_u32(version);
+    w.put_u64(len_u64(payload.len()));
+    let mut bytes = w.into_bytes();
+    bytes.extend_from_slice(payload);
+    let sum = fnv1a64(&bytes);
+    bytes.extend_from_slice(&sum.to_le_bytes());
+    bytes
+}
+
+/// Validate the frame envelope (magic, version, length, checksum,
+/// no trailing bytes) and return the payload slice. Fails closed on
+/// every corruption class; see [`crate::EngineSnapshot::decode`] for
+/// the error contract.
+pub(crate) fn unframe(bytes: &[u8], magic: [u8; 4], supported: u32) -> Result<&[u8], SnapError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(SnapError::Truncated {
+            needed: HEADER_LEN,
+            got: bytes.len(),
+        });
+    }
+    if bytes[..4] != magic {
+        return Err(SnapError::BadMagic);
+    }
+    let mut header = Reader::new(&bytes[4..HEADER_LEN]);
+    let version = header.u32()?;
+    if version != supported {
+        return Err(SnapError::UnsupportedVersion {
+            got: version,
+            supported,
+        });
+    }
+    let payload_len = usize::try_from(header.u64()?).map_err(|_| SnapError::Corrupt {
+        reason: "payload length overflows usize",
+    })?;
+    let framed_len = HEADER_LEN
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(CHECKSUM_LEN))
+        .ok_or(SnapError::Corrupt {
+            reason: "payload length overflows usize",
+        })?;
+    if bytes.len() < framed_len {
+        return Err(SnapError::Truncated {
+            needed: framed_len,
+            got: bytes.len(),
+        });
+    }
+    if bytes.len() > framed_len {
+        return Err(SnapError::Corrupt {
+            reason: "trailing bytes after checksum",
+        });
+    }
+    let body_end = HEADER_LEN + payload_len;
+    let mut sum_reader = Reader::new(&bytes[body_end..]);
+    let stored_sum = sum_reader.u64()?;
+    if fnv1a64(&bytes[..body_end]) != stored_sum {
+        return Err(SnapError::Corrupt {
+            reason: "checksum mismatch",
+        });
+    }
+    Ok(&bytes[HEADER_LEN..body_end])
 }
 
 /// FNV-1a 64-bit over `bytes` — the frame checksum. Not cryptographic;

@@ -50,26 +50,22 @@
 mod codec;
 mod error;
 mod state;
+mod tenant;
 
 pub use error::SnapError;
 pub use state::{
     BatchCostState, ConfigState, EngineSnapshot, FaultFingerprint, FaultState, HistState,
     MeterState, ModelState, ObsState, OpCount, ShardState,
 };
+pub use tenant::{TenantCheckpoint, TENANT_MAGIC, TENANT_VERSION};
 
-use codec::{fnv1a64, Reader, Writer};
+use codec::{Reader, Writer};
 
-/// Leading magic of every snapshot blob.
+/// Leading magic of every engine snapshot blob.
 pub const MAGIC: [u8; 4] = *b"DSNP";
 
 /// Newest format version this build encodes and decodes.
 pub const VERSION: u32 = 1;
-
-/// Fixed header size: magic + version + payload length.
-const HEADER_LEN: usize = 16;
-
-/// Trailing checksum size.
-const CHECKSUM_LEN: usize = 8;
 
 impl EngineSnapshot {
     /// Serialize to the framed wire format. Deterministic: equal
@@ -78,19 +74,7 @@ impl EngineSnapshot {
     pub fn encode(&self) -> Vec<u8> {
         let mut payload = Writer::new();
         self.encode_payload(&mut payload);
-        let payload = payload.into_bytes();
-
-        let mut w = Writer::new();
-        for b in MAGIC {
-            w.put_u8(b);
-        }
-        w.put_u32(VERSION);
-        w.put_u64(codec::len_u64(payload.len()));
-        let mut bytes = w.into_bytes();
-        bytes.extend_from_slice(&payload);
-        let sum = fnv1a64(&bytes);
-        bytes.extend_from_slice(&sum.to_le_bytes());
-        bytes
+        codec::frame(MAGIC, VERSION, &payload.into_bytes())
     }
 
     /// Parse a framed snapshot blob, failing closed on any corruption.
@@ -103,52 +87,8 @@ impl EngineSnapshot {
     /// [`VERSION`], and [`SnapError::Corrupt`] for checksum failures,
     /// trailing bytes, or inconsistent payload structure.
     pub fn decode(bytes: &[u8]) -> Result<Self, SnapError> {
-        if bytes.len() < HEADER_LEN {
-            return Err(SnapError::Truncated {
-                needed: HEADER_LEN,
-                got: bytes.len(),
-            });
-        }
-        if bytes[..4] != MAGIC {
-            return Err(SnapError::BadMagic);
-        }
-        let mut header = Reader::new(&bytes[4..HEADER_LEN]);
-        let version = header.u32()?;
-        if version != VERSION {
-            return Err(SnapError::UnsupportedVersion {
-                got: version,
-                supported: VERSION,
-            });
-        }
-        let payload_len = usize::try_from(header.u64()?).map_err(|_| SnapError::Corrupt {
-            reason: "payload length overflows usize",
-        })?;
-        let framed_len = HEADER_LEN
-            .checked_add(payload_len)
-            .and_then(|n| n.checked_add(CHECKSUM_LEN))
-            .ok_or(SnapError::Corrupt {
-                reason: "payload length overflows usize",
-            })?;
-        if bytes.len() < framed_len {
-            return Err(SnapError::Truncated {
-                needed: framed_len,
-                got: bytes.len(),
-            });
-        }
-        if bytes.len() > framed_len {
-            return Err(SnapError::Corrupt {
-                reason: "trailing bytes after checksum",
-            });
-        }
-        let body_end = HEADER_LEN + payload_len;
-        let mut sum_reader = Reader::new(&bytes[body_end..]);
-        let stored_sum = sum_reader.u64()?;
-        if fnv1a64(&bytes[..body_end]) != stored_sum {
-            return Err(SnapError::Corrupt {
-                reason: "checksum mismatch",
-            });
-        }
-        let mut r = Reader::new(&bytes[HEADER_LEN..body_end]);
+        let payload = codec::unframe(bytes, MAGIC, VERSION)?;
+        let mut r = Reader::new(payload);
         let snapshot = Self::decode_payload(&mut r)?;
         if !r.is_empty() {
             return Err(SnapError::Corrupt {
@@ -302,7 +242,7 @@ mod tests {
         bytes[4..8].copy_from_slice(&(VERSION + 1).to_le_bytes());
         // Re-stamp the checksum so ONLY the version differs.
         let body_end = bytes.len() - 8;
-        let sum = super::fnv1a64(&bytes[..body_end]);
+        let sum = codec::fnv1a64(&bytes[..body_end]);
         bytes[body_end..].copy_from_slice(&sum.to_le_bytes());
         assert_eq!(
             EngineSnapshot::decode(&bytes),

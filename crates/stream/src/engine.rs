@@ -519,6 +519,24 @@ impl<E: Encoder + Sync> StreamEngine<E> {
     /// count differs from the encoder's, and propagates encode errors
     /// from an inline `Block` flush.
     pub fn push(&mut self, features: &[f64]) -> Result<PushOutcome, StreamError> {
+        let policy = self.config.policy;
+        self.push_policed(features, policy)
+    }
+
+    /// [`StreamEngine::push`] with the overflow policy chosen per call
+    /// instead of from [`StreamConfig`] — the hosting hook for
+    /// admission layers (`dual-topology`) that escalate a tenant's
+    /// policy while it is over its energy quota without mutating the
+    /// engine's configured default.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`StreamEngine::push`].
+    pub fn push_policed(
+        &mut self,
+        features: &[f64],
+        policy: BackpressurePolicy,
+    ) -> Result<PushOutcome, StreamError> {
         if features.len() != self.encoder.n_features() {
             return Err(StreamError::FeatureLength {
                 expected: self.encoder.n_features(),
@@ -530,7 +548,7 @@ impl<E: Encoder + Sync> StreamEngine<E> {
                 self.obs.add(Key::StreamIngested, 1);
                 Ok(PushOutcome::Accepted)
             }
-            Err(point) => match self.config.policy {
+            Err(point) => match policy {
                 BackpressurePolicy::Block => {
                     self.obs.add(Key::StreamInlineFlushes, 1);
                     self.cut_batch(CutReason::Backpressure)?;
@@ -966,6 +984,34 @@ mod tests {
         ));
         c.decay = 0.5;
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn push_policed_overrides_configured_policy_per_call() {
+        let mut cfg = StreamConfig::new(2);
+        cfg.capacity = 2;
+        cfg.policy = BackpressurePolicy::Block;
+        let mut e = engine(cfg);
+        e.push(&[0.0, 0.0]).unwrap();
+        e.push(&[0.1, 0.1]).unwrap();
+        // Ring full: a policed Reject refuses without touching the
+        // buffer or the configured Block default.
+        assert_eq!(
+            e.push_policed(&[0.2, 0.2], BackpressurePolicy::Reject)
+                .unwrap(),
+            PushOutcome::Rejected
+        );
+        assert_eq!(e.pending(), 2);
+        // A policed DropOldest sheds the stalest point instead.
+        assert_eq!(
+            e.push_policed(&[0.3, 0.3], BackpressurePolicy::DropOldest)
+                .unwrap(),
+            PushOutcome::AcceptedDroppedOldest
+        );
+        assert_eq!(e.pending(), 2);
+        assert_eq!(e.config().policy, BackpressurePolicy::Block);
+        assert_eq!(e.counters().rejected, 1);
+        assert_eq!(e.counters().dropped, 1);
     }
 
     #[test]

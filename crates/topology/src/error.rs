@@ -1,0 +1,113 @@
+//! Typed errors of the topology layer.
+
+use dual_snap::SnapError;
+use dual_stream::StreamError;
+use std::fmt;
+
+/// Everything that can go wrong operating a [`crate::Topology`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyError {
+    /// No tenant is registered under this name.
+    UnknownTenant {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A tenant with this name already exists.
+    DuplicateTenant {
+        /// The contested name.
+        name: String,
+    },
+    /// A tenant name violates the naming rules (non-empty, only
+    /// `[A-Za-z0-9_-]`, so names embed safely in metric keys and
+    /// byte-stable JSON without escaping).
+    InvalidName {
+        /// Why the name was rejected.
+        reason: &'static str,
+    },
+    /// A quota parameter is out of range.
+    InvalidQuota {
+        /// Why the quota was rejected.
+        reason: &'static str,
+    },
+    /// A checkpoint decoded cleanly but belongs to a different tenant.
+    WrongTenant {
+        /// The tenant the caller addressed.
+        expected: String,
+        /// The tenant named inside the checkpoint.
+        got: String,
+    },
+    /// A tenant checkpoint blob failed to decode.
+    Snapshot(SnapError),
+    /// An error surfaced from a tenant's stream engine.
+    Stream(StreamError),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownTenant { name } => write!(f, "unknown tenant {name:?}"),
+            Self::DuplicateTenant { name } => write!(f, "tenant {name:?} already exists"),
+            Self::InvalidName { reason } => write!(f, "invalid tenant name: {reason}"),
+            Self::InvalidQuota { reason } => write!(f, "invalid quota: {reason}"),
+            Self::WrongTenant { expected, got } => write!(
+                f,
+                "checkpoint addressed to tenant {got:?}, not {expected:?}"
+            ),
+            Self::Snapshot(e) => write!(f, "tenant checkpoint: {e}"),
+            Self::Stream(e) => write!(f, "tenant engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Snapshot(e) => Some(e),
+            Self::Stream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StreamError> for TopologyError {
+    fn from(e: StreamError) -> Self {
+        Self::Stream(e)
+    }
+}
+
+impl From<SnapError> for TopologyError {
+    fn from(e: SnapError) -> Self {
+        Self::Snapshot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_context() {
+        let e = TopologyError::UnknownTenant {
+            name: "alice".into(),
+        };
+        assert!(e.to_string().contains("alice"));
+        let e = TopologyError::WrongTenant {
+            expected: "a".into(),
+            got: "b".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("\"a\"") && s.contains("\"b\""));
+    }
+
+    #[test]
+    fn wraps_layer_errors_with_sources() {
+        use std::error::Error;
+        let e = TopologyError::from(SnapError::BadMagic);
+        assert!(e.source().is_some());
+        let e = TopologyError::from(StreamError::FeatureLength {
+            expected: 2,
+            got: 3,
+        });
+        assert!(e.source().is_some());
+    }
+}

@@ -23,6 +23,7 @@
 //! | [`fault`] | `dual-fault` | deterministic fault injection + self-healing policies |
 //! | [`obs`] | `dual-obs` | deterministic metrics registry + logical-clock tracing |
 //! | [`snap`] | `dual-snap` | versioned write-ahead snapshot format + replay recovery |
+//! | [`topology`] | `dual-topology` | multi-tenant topology service: quotas, fair-share scheduling, lifecycle |
 //! | [`tsne`] | `dual-tsne` | exact t-SNE for the Fig. 11 visualization |
 //!
 //! ## Quickstart
@@ -62,6 +63,7 @@ pub use dual_obs as obs;
 pub use dual_pim as pim;
 pub use dual_snap as snap;
 pub use dual_stream as stream;
+pub use dual_topology as topology;
 pub use dual_tsne as tsne;
 
 // Compile the README / DESIGN code fences as doctests through the

@@ -284,6 +284,105 @@ fn pool_primitives_are_thread_count_invariant() {
     }
 }
 
+/// The multi-tenant topology service inherits the whole pipeline's
+/// determinism contract: for a fixed push/tick schedule, every
+/// tenant's stable obs JSON, centroid bits, and energy ledger — plus
+/// the topology's merged `stable_json` export — must be invariant
+/// under the engine thread count and shard count.
+#[test]
+fn topology_sweep_is_bit_identical_across_thread_counts() {
+    use dual_hdc::HdMapper;
+    use dual_stream::{BackpressurePolicy, StreamConfig};
+    use dual_topology::{QuotaSpec, TenantSpec, Topology};
+
+    let run = |threads: usize, shards: usize| {
+        let config = |k: usize| {
+            let mut cfg = StreamConfig::new(k);
+            cfg.threads = threads;
+            cfg.shards = shards;
+            cfg.capacity = 64;
+            cfg.max_batch = 32;
+            cfg.max_ticks = 3;
+            cfg.decay = 0.85;
+            cfg.centroids_per_cluster = 2;
+            cfg
+        };
+        let specs = vec![
+            TenantSpec::new("alpha", config(3)).with_quota(QuotaSpec::unlimited()),
+            TenantSpec::new("beta", config(4)).with_quota(
+                QuotaSpec::per_tick(40_000.0).with_escalation(BackpressurePolicy::DropOldest),
+            ),
+            TenantSpec::new("gamma", config(2))
+                .with_quota(QuotaSpec::per_tick(500.0).with_escalation(BackpressurePolicy::Reject)),
+        ];
+        let mut seed = 0;
+        let mut topo = Topology::build(specs, |_| {
+            seed += 1;
+            HdMapper::builder(256, 4).seed(seed).build().expect("valid")
+        })
+        .expect("valid roster");
+        let streams: Vec<(String, Vec<Vec<f64>>)> = ["alpha", "beta", "gamma"]
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let k = topo.engine(name).expect("registered").config().k;
+                let pts = dual_data::DriftSpec::new(4, k)
+                    .stream(99 + i as u64)
+                    .take(300)
+                    .map(|(p, _)| p)
+                    .collect();
+                (name.to_string(), pts)
+            })
+            .collect();
+        for step in 0..300 {
+            for (name, pts) in &streams {
+                topo.push(name, &pts[step]).expect("well-shaped");
+            }
+            if step % 7 == 6 {
+                topo.tick().expect("tick");
+            }
+        }
+        topo.drain_all().expect("drain");
+        let per_tenant: Vec<_> = ["alpha", "beta", "gamma"]
+            .iter()
+            .map(|name| {
+                let s = topo.status(name).expect("registered");
+                (
+                    s.snapshot.clusters.clone(),
+                    s.snapshot.energy_pj.to_bits(),
+                    s.quota_rejected,
+                    s.quota_shed,
+                    s.deferred_ticks,
+                )
+            })
+            .collect();
+        (
+            topo.stable_json(),
+            per_tenant,
+            topo.totals().energy_pj.to_bits(),
+        )
+    };
+
+    let gold = run(1, 1);
+    for &threads in &THREADS {
+        for shards in [1usize, 2, 8] {
+            let got = run(threads, shards);
+            assert_eq!(
+                got.0, gold.0,
+                "topology stable_json differs threads={threads} shards={shards}"
+            );
+            assert_eq!(
+                got.1, gold.1,
+                "per-tenant state differs threads={threads} shards={shards}"
+            );
+            assert_eq!(
+                got.2, gold.2,
+                "total energy bits differ threads={threads} shards={shards}"
+            );
+        }
+    }
+}
+
 /// The dual-obs determinism contract (DESIGN.md §7): every metric a
 /// kernel records must be invariant under the thread count, so the
 /// byte-stable JSON export of a local registry is a fixed point across

@@ -1,0 +1,293 @@
+//! Integration suite for the multi-tenant topology service
+//! (DESIGN.md §11): tenant isolation under fault storms, the
+//! zero-overhead equivalence of a 1-tenant topology with a bare
+//! engine, exact cross-tenant energy accounting, and the lifecycle
+//! (checkpoint / reload) round trip through `dual-snap`.
+
+use dual_fault::{FaultPlan, FaultPlanSpec, HealingPolicy};
+use dual_hdc::HdMapper;
+use dual_pim::CostModel;
+use dual_stream::{BackpressurePolicy, FaultConfig, StreamConfig, StreamEngine};
+use dual_topology::{QuotaSpec, TenantSpec, Topology, TopologyError};
+use proptest::prelude::*;
+
+const FEATURES: usize = 4;
+
+fn encoder(seed: u64) -> HdMapper {
+    HdMapper::builder(256, FEATURES).seed(seed).build().unwrap()
+}
+
+fn config(k: usize) -> StreamConfig {
+    let mut cfg = StreamConfig::new(k);
+    cfg.capacity = 64;
+    cfg.max_batch = 32;
+    cfg.max_ticks = 3;
+    cfg.decay = 0.85;
+    cfg.centroids_per_cluster = 2;
+    cfg
+}
+
+fn storm(k: usize) -> FaultConfig {
+    let slots = 2 * k;
+    let spares = 2;
+    let mut spec = FaultPlanSpec::clean(slots + spares, 256);
+    spec.seed = 0xF0;
+    spec.stuck_rate = 0.02;
+    spec.dead_row_rate = 0.02;
+    spec.flip_rate = 0.01;
+    let plan = FaultPlan::new(spec).unwrap();
+    FaultConfig::new(plan).with_policy(HealingPolicy::Full { spares, reads: 3 })
+}
+
+/// Drive a 3-tenant topology through a fixed interleaved schedule,
+/// with tenant `"stormy"` optionally under a deterministic fault
+/// storm, and report every other tenant's observable outputs.
+fn run_with_storm(inject: bool) -> Vec<(String, String, u64)> {
+    let mut topo = Topology::new();
+    for (i, (name, k)) in [("calm_a", 3usize), ("calm_b", 2), ("stormy", 4)]
+        .iter()
+        .enumerate()
+    {
+        let spec = TenantSpec::new(*name, config(*k)).with_quota(QuotaSpec::unlimited());
+        let fault = (inject && *name == "stormy").then(|| storm(*k));
+        topo.add_tenant_with(spec, encoder(i as u64 + 1), CostModel::paper(), fault)
+            .unwrap();
+    }
+    let streams: Vec<(String, usize, Vec<Vec<f64>>)> =
+        [("calm_a", 3usize), ("calm_b", 2), ("stormy", 4)]
+            .iter()
+            .enumerate()
+            .map(|(i, (name, k))| {
+                let pts = dual_data::DriftSpec::new(FEATURES, *k)
+                    .stream(7 + i as u64)
+                    .take(256)
+                    .map(|(p, _)| p)
+                    .collect();
+                (name.to_string(), *k, pts)
+            })
+            .collect();
+    for step in 0..256 {
+        for (name, _, pts) in &streams {
+            topo.push(name, &pts[step]).unwrap();
+        }
+        if step % 5 == 4 {
+            topo.tick().unwrap();
+        }
+    }
+    topo.drain_all().unwrap();
+    streams
+        .iter()
+        .map(|(name, _, _)| {
+            let engine = topo.engine(name).unwrap();
+            (
+                name.clone(),
+                engine.obs_registry().stable_snapshot().to_json(),
+                engine.snapshot().energy_pj.to_bits(),
+            )
+        })
+        .collect()
+}
+
+/// The isolation contract the service sells: a fault storm confined to
+/// one tenant leaves every other tenant's entire observable state —
+/// stable obs JSON and energy-ledger bits — byte-identical.
+#[test]
+fn fault_storm_in_one_tenant_leaves_others_bit_identical() {
+    let calm = run_with_storm(false);
+    let stormy = run_with_storm(true);
+    for (c, s) in calm.iter().zip(&stormy) {
+        assert_eq!(c.0, s.0);
+        if c.0 != "stormy" {
+            assert_eq!(c.1, s.1, "tenant {} obs changed under the storm", c.0);
+            assert_eq!(c.2, s.2, "tenant {} energy changed under the storm", c.0);
+        }
+    }
+    // The storm itself must be real: the stormy tenant's run diverges.
+    let (c, s) = (&calm[2], &stormy[2]);
+    assert_ne!(c.1, s.1, "the storm must actually perturb its own tenant");
+}
+
+/// The `multi_tenant_service` example's deployment run, pinned as a
+/// smoke test: three quota tiers on one schedule — the unlimited
+/// tenant never deferred, the under-provisioned tier shedding backlog,
+/// the starved tier rejected at the gate — with the per-tenant energy
+/// ledgers summing bit-exactly to the topology total.
+#[test]
+fn example_scenario_quota_tiers_starve_shed_and_pass() {
+    let specs = vec![
+        TenantSpec::new("gold", config(3)).with_quota(QuotaSpec::unlimited()),
+        TenantSpec::new("silver", config(4)).with_quota(
+            QuotaSpec::per_tick(4_000.0).with_escalation(BackpressurePolicy::DropOldest),
+        ),
+        TenantSpec::new("bronze", config(2))
+            .with_quota(QuotaSpec::per_tick(500.0).with_escalation(BackpressurePolicy::Reject)),
+    ];
+    let mut seed = 0;
+    let mut topo = Topology::build(specs, |_| {
+        seed += 1;
+        encoder(seed)
+    })
+    .unwrap();
+    let streams: Vec<(String, Vec<Vec<f64>>)> = [("gold", 3usize), ("silver", 4), ("bronze", 2)]
+        .iter()
+        .enumerate()
+        .map(|(i, (name, k))| {
+            let pts = dual_data::DriftSpec::new(FEATURES, *k)
+                .stream(42 + i as u64)
+                .take(512)
+                .map(|(p, _)| p)
+                .collect();
+            (name.to_string(), pts)
+        })
+        .collect();
+    for step in 0..512 {
+        for (name, pts) in &streams {
+            topo.push(name, &pts[step]).unwrap();
+        }
+        if step % 16 == 15 {
+            topo.tick().unwrap();
+        }
+    }
+    topo.drain_all().unwrap();
+
+    let gold = topo.status("gold").unwrap();
+    let silver = topo.status("silver").unwrap();
+    let bronze = topo.status("bronze").unwrap();
+    assert_eq!(gold.deferred_ticks, 0, "unlimited tenant never deferred");
+    assert_eq!(gold.snapshot.points, 512, "unlimited tenant loses nothing");
+    assert!(silver.deferred_ticks > 0, "silver must go over budget");
+    assert!(silver.quota_shed > 0, "silver sheds backlog while deferred");
+    assert!(bronze.quota_rejected > 0, "bronze rejected at the gate");
+    assert!(
+        bronze.snapshot.points < 512,
+        "rejection must actually cost bronze data"
+    );
+    // Exactly k clusters, all sub-centroid slots seeded, per tenant.
+    for s in [&gold, &silver, &bronze] {
+        let k = s.snapshot.clusters.len();
+        assert!(k > 0);
+        assert_eq!(
+            s.snapshot.clusters.iter().map(Vec::len).sum::<usize>(),
+            2 * k,
+            "all sub-centroid slots seeded for {}",
+            s.name
+        );
+    }
+    // Ledger sum is exact, not approximately equal.
+    let fold = gold.spent_pj + silver.spent_pj + bronze.spent_pj;
+    assert_eq!(topo.totals().energy_pj.to_bits(), fold.to_bits());
+}
+
+/// Lifecycle round trip at the integration level: checkpoint a live
+/// tenant mid-stream, keep pushing, reload the blob, replay the same
+/// suffix, and land on the identical end state.
+#[test]
+fn checkpoint_reload_replay_lands_bit_identical() {
+    let mut topo = Topology::new();
+    topo.add_tenant(
+        TenantSpec::new("t", config(3)).with_quota(QuotaSpec::unlimited()),
+        encoder(9),
+    )
+    .unwrap();
+    let pts: Vec<Vec<f64>> = dual_data::DriftSpec::new(FEATURES, 3)
+        .stream(77)
+        .take(200)
+        .map(|(p, _)| p)
+        .collect();
+    let drive = |topo: &mut Topology<HdMapper>, range: std::ops::Range<usize>| {
+        for step in range {
+            topo.push("t", &pts[step]).unwrap();
+            if step % 5 == 4 {
+                topo.tick().unwrap();
+            }
+        }
+    };
+    drive(&mut topo, 0..100);
+    let blob = topo.checkpoint("t").unwrap();
+    drive(&mut topo, 100..200);
+    topo.drain_all().unwrap();
+    let gold = topo
+        .engine("t")
+        .unwrap()
+        .obs_registry()
+        .stable_snapshot()
+        .to_json();
+
+    topo.reload("t", encoder(9), &blob).unwrap();
+    drive(&mut topo, 100..200);
+    topo.drain_all().unwrap();
+    let replayed = topo
+        .engine("t")
+        .unwrap()
+        .obs_registry()
+        .stable_snapshot()
+        .to_json();
+    assert_eq!(gold, replayed, "restore + replay must be bit-identical");
+
+    // A blob reloaded into the wrong tenant fails closed.
+    let mut other = Topology::new();
+    other
+        .add_tenant(
+            TenantSpec::new("u", config(3)).with_quota(QuotaSpec::unlimited()),
+            encoder(9),
+        )
+        .unwrap();
+    assert!(matches!(
+        other.reload("u", encoder(9), &blob),
+        Err(TopologyError::WrongTenant { .. })
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A 1-tenant topology with an unlimited quota is a transparent
+    /// wrapper: for ANY push/tick schedule it must be bit-identical to
+    /// a bare `StreamEngine` driven the same way — same stable obs
+    /// JSON (counters, gauges, histograms, logical clock), same
+    /// centroid bits, same energy ledger. The admission gate and
+    /// scheduler may add zero observable overhead.
+    #[test]
+    fn one_tenant_topology_equals_bare_engine(
+        seed in proptest::arbitrary::any::<u64>(),
+        n_points in 1usize..200,
+        tick_every in 1usize..12,
+    ) {
+        let pts: Vec<Vec<f64>> = dual_data::DriftSpec::new(FEATURES, 3)
+            .stream(seed)
+            .take(n_points)
+            .map(|(p, _)| p)
+            .collect();
+
+        let mut engine = StreamEngine::new(encoder(seed), config(3)).unwrap();
+        let mut topo = Topology::new();
+        topo.add_tenant(
+            TenantSpec::new("solo", config(3)).with_quota(QuotaSpec::unlimited()),
+            encoder(seed),
+        )
+        .unwrap();
+
+        for (i, p) in pts.iter().enumerate() {
+            let bare = engine.push(p).unwrap();
+            let wrapped = topo.push("solo", p).unwrap();
+            prop_assert_eq!(Some(bare), wrapped.outcome(), "push outcome {}", i);
+            if (i + 1) % tick_every == 0 {
+                engine.tick().unwrap();
+                topo.tick().unwrap();
+            }
+        }
+        engine.drain().unwrap();
+        topo.drain_all().unwrap();
+
+        let wrapped = topo.engine("solo").unwrap();
+        prop_assert_eq!(
+            engine.obs_registry().stable_snapshot().to_json(),
+            wrapped.obs_registry().stable_snapshot().to_json()
+        );
+        let (a, b) = (engine.snapshot(), wrapped.snapshot());
+        prop_assert_eq!(&a.clusters, &b.clusters);
+        prop_assert_eq!(a.energy_pj.to_bits(), b.energy_pj.to_bits());
+        prop_assert_eq!(a.time_ns.to_bits(), b.time_ns.to_bits());
+        prop_assert_eq!(a.counters, b.counters);
+    }
+}
