@@ -27,7 +27,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(build test doc clippy fmt lint bench obs fault determinism recovery verify-isa topology)
+ALL_STAGES=(build test doc clippy fmt lint bench obs fault determinism recovery verify-isa topology trace)
 
 # ---------------------------------------------------------------- stages
 
@@ -195,6 +195,29 @@ stage_topology() {
   done
   diff "$tmp/topology_0.json" results/topology_report.json \
     || { echo "topology_report.json drifted: regenerate and commit it"; return 1; }
+  echo "    reports byte-identical across DUAL_THREADS in {0, 2, 8}"
+  rm -rf "$tmp"
+}
+
+stage_trace() {
+  local tmp
+  tmp=$(mktemp -d)
+  echo "--- flight_recorder: kill/restore/replay trace identity under DUAL_THREADS in {0, 2, 8}"
+  # The bin itself asserts the flight-recorder ring, causal span ids,
+  # and alert latches survive kill/restore/replay bit-for-bit; the
+  # sweep here pins the merged trace report bytes across thread counts
+  # and against the committed artifact.
+  for threads in 0 2 8; do
+    DUAL_THREADS=$threads cargo run -q -p dual-bench --release --bin flight_recorder -- \
+      --out "$tmp/trace_$threads.json" >/dev/null
+    echo "    DUAL_THREADS=$threads ok"
+  done
+  for threads in 2 8; do
+    diff "$tmp/trace_0.json" "$tmp/trace_$threads.json" \
+      || { echo "trace report diverged at DUAL_THREADS=$threads"; return 1; }
+  done
+  diff "$tmp/trace_0.json" results/trace_report.json \
+    || { echo "trace_report.json drifted: regenerate and commit it"; return 1; }
   echo "    reports byte-identical across DUAL_THREADS in {0, 2, 8}"
   rm -rf "$tmp"
 }

@@ -20,6 +20,10 @@
 //!    every baseline sample is taken *first*; retry rounds can then
 //!    only refine the instrumented minimum (which is conservative: the
 //!    baseline minimum is final while the instrumented one may drop).
+//! 3. **Stream pipeline** — a full push/tick/drain pass with the
+//!    flight recorder disabled (`trace_capacity = 0`) against the same
+//!    pass with the recorder and two alert rules armed. Both sides
+//!    stay runnable, so retry rounds interleave like pair 1.
 //!
 //! Wall-clock enters only through the lint-audited
 //! [`dual_obs::wall::WallClock`] adapter and is used purely for the
@@ -34,6 +38,9 @@
 use dual_cluster::KMeans;
 use dual_hdc::{Encoder, HdMapper};
 use dual_obs::wall::WallClock;
+use dual_obs::Key;
+use dual_stream::{StreamConfig, StreamEngine};
+use dual_trace::{AlertRule, Signal};
 
 /// Samples per measurement round.
 const SAMPLES: usize = 5;
@@ -185,11 +192,60 @@ fn main() {
         "installed registry must observe the encode loop"
     );
 
+    // ---- Pair 3: stream pipeline (recorder off vs recorder + alerts). ----
+    let stream_enc = HdMapper::new(512, 8, 7).expect("valid");
+    let stream_pts: Vec<Vec<f64>> = (0..512)
+        .map(|i| (0..8).map(|j| ((i * 8 + j) as f64 * 0.17).sin()).collect())
+        .collect();
+    let run_stream = |trace: bool| {
+        let mut cfg = StreamConfig::new(4);
+        cfg.capacity = 1024;
+        cfg.max_batch = 32;
+        cfg.max_ticks = 4;
+        cfg.shards = 2;
+        cfg.trace_capacity = if trace { 256 } else { 0 };
+        let mut engine = StreamEngine::new(stream_enc.clone(), cfg).expect("valid stream config");
+        if trace {
+            engine = engine
+                .with_alerts(vec![
+                    AlertRule::edge("backlog", Signal::Gauge(Key::StreamRingOccupancy), 16.0),
+                    AlertRule::edge("ingest-burst", Signal::Delta(Key::StreamIngested), 48.0),
+                ])
+                .expect("valid alert rules");
+        }
+        for (i, p) in stream_pts.iter().enumerate() {
+            engine.push(p).expect("well-shaped point");
+            if (i + 1) % 64 == 0 {
+                engine.tick().expect("tick");
+            }
+        }
+        std::hint::black_box(engine.drain().expect("drain"));
+    };
+    let mut base_stream = || run_stream(false);
+    let mut instr_stream = || run_stream(true);
+    base_stream();
+    instr_stream();
+    let (mut st_base, mut st_instr) = (u64::MAX, u64::MAX);
+    for _ in 0..REPS {
+        st_base = st_base.min(min_ns(&mut base_stream));
+        st_instr = st_instr.min(min_ns(&mut instr_stream));
+    }
+    for _ in 0..MAX_ROUNDS {
+        if ratio(st_base, st_instr) <= tol {
+            break;
+        }
+        st_base = st_base.min(min_ns(&mut base_stream));
+        st_instr = st_instr.min(min_ns(&mut instr_stream));
+    }
+    report("stream_512x8_recorder", st_base, st_instr, tol);
+    let st_ok = ratio(st_base, st_instr) <= tol;
+
     assert!(
-        km_ok && enc_ok,
-        "dual-obs overhead exceeded tolerance: kmeans {:+.2}% encode {:+.2}% (tol {:.2}%)",
+        km_ok && enc_ok && st_ok,
+        "dual-obs overhead exceeded tolerance: kmeans {:+.2}% encode {:+.2}% stream {:+.2}% (tol {:.2}%)",
         ratio(km_base, km_instr) * 100.0,
         ratio(enc_base, enc_instr) * 100.0,
+        ratio(st_base, st_instr) * 100.0,
         tol * 100.0
     );
 

@@ -27,6 +27,7 @@ use std::time::Instant;
 use dual_data::DriftSpec;
 use dual_fault::{FaultPlan, FaultPlanSpec, HealingPolicy};
 use dual_hdc::{search, Encoder, HdMapper, Hypervector};
+use dual_obs::Key;
 use dual_pim::CostModel;
 use dual_stream::{BackpressurePolicy, FaultConfig, StreamConfig};
 use dual_topology::{QuotaSpec, TenantSpec, Topology};
@@ -177,6 +178,8 @@ struct TenantOutcome {
     energy_pj: f64,
     injected: u64,
     healed: u64,
+    /// `(p50, p95, p99)` of the tenant's batch-size histogram.
+    batch_points_q: (u64, u64, u64),
 }
 
 struct RunResult {
@@ -283,6 +286,10 @@ fn run(storm: bool, seed: u64) -> RunResult {
                 energy_pj: snap.energy_pj,
                 injected: fault.as_ref().map_or(0, |s| s.injected),
                 healed: fault.as_ref().map_or(0, |s| s.healed),
+                batch_points_q: engine
+                    .obs_registry()
+                    .histogram(Key::StreamBatchPoints)
+                    .summary_quantiles(),
             }
         })
         .collect();
@@ -299,7 +306,7 @@ fn run(storm: bool, seed: u64) -> RunResult {
 /// fixed key order, fixed float formatting, no wall-clock fields.
 fn to_json(seed: u64, storm: &RunResult, agreements: &[f64]) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"version\": 1,\n");
+    out.push_str("  \"version\": 2,\n");
     let _ = writeln!(out, "  \"train_points\": {TRAIN_POINTS},");
     let _ = writeln!(out, "  \"eval_points\": {EVAL_POINTS},");
     let _ = writeln!(out, "  \"dim\": {DIM},");
@@ -333,6 +340,11 @@ fn to_json(seed: u64, storm: &RunResult, agreements: &[f64]) -> String {
         let _ = write!(out, "\"deferred_ticks\": {}, ", t.deferred_ticks);
         let _ = write!(out, "\"batches\": {}, ", t.batches);
         let _ = write!(out, "\"points\": {}, ", t.points);
+        let (p50, p95, p99) = t.batch_points_q;
+        let _ = write!(
+            out,
+            "\"batch_points\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}}, "
+        );
         let _ = write!(out, "\"energy_pj\": {:.4}, ", t.energy_pj);
         let _ = write!(out, "\"energy_bits\": {}, ", t.energy_bits);
         let _ = write!(out, "\"time_bits\": {}, ", t.time_bits);

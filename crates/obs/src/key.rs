@@ -137,7 +137,7 @@ pub enum Kind {
 /// Number of counter slots.
 pub(crate) const N_COUNTERS: usize = 35;
 /// Number of gauge slots.
-pub(crate) const N_GAUGES: usize = 29;
+pub(crate) const N_GAUGES: usize = 33;
 /// Number of histogram slots.
 pub(crate) const N_HISTS: usize = 5;
 
@@ -249,6 +249,15 @@ pub enum Key {
     SnapLastTick,
     /// Tenants hosted by the topology service.
     TopoTenants,
+    /// Stream: ingest-ring occupancy fraction (buffered / capacity) at
+    /// the most recent tick.
+    StreamRingOccupancy,
+    /// Trace: events ever emitted by the flight recorder.
+    TraceEmitted,
+    /// Trace: events evicted from the flight-recorder ring.
+    TraceEvicted,
+    /// Trace: alert raise transitions recorded by the alert engine.
+    TraceAlertsRaised,
     // ---- histograms -----------------------------------------------------
     /// Points per committed stream micro-batch.
     StreamBatchPoints,
@@ -330,6 +339,10 @@ impl Key {
         Key::SnapBytes,
         Key::SnapLastTick,
         Key::TopoTenants,
+        Key::StreamRingOccupancy,
+        Key::TraceEmitted,
+        Key::TraceEvicted,
+        Key::TraceAlertsRaised,
         Key::StreamBatchPoints,
         Key::SpanKmeansFit,
         Key::SpanDbscanFit,
@@ -388,6 +401,10 @@ impl Key {
             Self::SnapBytes => (Kind::Gauge, 26),
             Self::SnapLastTick => (Kind::Gauge, 27),
             Self::TopoTenants => (Kind::Gauge, 28),
+            Self::StreamRingOccupancy => (Kind::Gauge, 29),
+            Self::TraceEmitted => (Kind::Gauge, 30),
+            Self::TraceEvicted => (Kind::Gauge, 31),
+            Self::TraceAlertsRaised => (Kind::Gauge, 32),
             Self::StreamBatchPoints => (Kind::Histogram, 0),
             Self::SpanKmeansFit => (Kind::Histogram, 1),
             Self::SpanDbscanFit => (Kind::Histogram, 2),
@@ -476,6 +493,10 @@ impl Key {
             Self::SnapBytes => "snap.bytes",
             Self::SnapLastTick => "snap.last_tick",
             Self::TopoTenants => "topology.tenants",
+            Self::StreamRingOccupancy => "stream.ring_occupancy",
+            Self::TraceEmitted => "trace.emitted",
+            Self::TraceEvicted => "trace.evicted",
+            Self::TraceAlertsRaised => "trace.alerts_raised",
             Self::StreamBatchPoints => "stream.batch_points",
             Self::SpanKmeansFit => "span.kmeans_fit",
             Self::SpanDbscanFit => "span.dbscan_fit",
@@ -495,6 +516,27 @@ impl Key {
             self,
             Self::HdcTopKPushes | Self::PoolTasks | Self::BenchWallNs | Self::SnapRestored
         )
+    }
+
+    /// Stable wire id: the key's position in [`Key::ALL`]. Serialized
+    /// formats (dual-snap alert rules, external dashboards) address
+    /// keys by this id, so it must never be reassigned — the
+    /// `key_wire_golden` test pins the full `(id, kind, slot, name)`
+    /// table and fails on any renumbering. New keys may only take new
+    /// ids.
+    #[must_use]
+    pub fn wire_id(self) -> u16 {
+        // Linear scan over a ~70-entry const array: not on any hot
+        // path (serialization and restore only).
+        let pos = Self::ALL.iter().position(|k| *k == self).unwrap_or(0);
+        u16::try_from(pos).unwrap_or(0)
+    }
+
+    /// Inverse of [`Key::wire_id`]; `None` for ids this build doesn't
+    /// know, so decoders fail closed on vocabulary drift.
+    #[must_use]
+    pub fn from_wire_id(id: u16) -> Option<Key> {
+        Self::ALL.get(usize::from(id)).copied()
     }
 }
 

@@ -323,6 +323,66 @@ fn prometheus_name(dotted: &str) -> String {
     dotted.replace('.', "_")
 }
 
+/// Render several registries as one Prometheus text document, each
+/// sample labeled `{<label>="<name>"}` — the multi-tenant parity of
+/// [`Snapshot::to_json_namespaced`]. Every metric gets exactly one
+/// `# TYPE` line followed by one sample (or bucket series) per
+/// registry, in the caller's order; pass streams sorted by name for a
+/// byte-stable document. Histogram buckets carry the stream label
+/// first, then `le`.
+#[must_use]
+pub fn to_prometheus_merged(label: &str, registries: &[(&str, &Registry)]) -> String {
+    let mut out = String::new();
+    for key in Key::ALL {
+        let metric = prometheus_name(key.name());
+        match key.kind() {
+            Kind::Counter => {
+                let _ = writeln!(out, "# TYPE dual_{metric}_total counter");
+                for (name, reg) in registries {
+                    let _ = writeln!(
+                        out,
+                        "dual_{metric}_total{{{label}=\"{name}\"}} {}",
+                        reg.counter(key)
+                    );
+                }
+            }
+            Kind::Gauge => {
+                let _ = writeln!(out, "# TYPE dual_{metric} gauge");
+                for (name, reg) in registries {
+                    let _ = writeln!(
+                        out,
+                        "dual_{metric}{{{label}=\"{name}\"}} {}",
+                        reg.gauge_value(key)
+                    );
+                }
+            }
+            Kind::Histogram => {
+                let _ = writeln!(out, "# TYPE dual_{metric} histogram");
+                for (name, reg) in registries {
+                    let h = reg.histogram(key);
+                    let mut cum = 0u64;
+                    for (i, &b) in h.buckets.iter().enumerate().take(HIST_BUCKETS) {
+                        cum = cum.wrapping_add(b);
+                        let _ = writeln!(
+                            out,
+                            "dual_{metric}_bucket{{{label}=\"{name}\",le=\"{}\"}} {cum}",
+                            bucket_bound(i)
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "dual_{metric}_bucket{{{label}=\"{name}\",le=\"+Inf\"}} {}",
+                        h.count
+                    );
+                    let _ = writeln!(out, "dual_{metric}_sum{{{label}=\"{name}\"}} {}", h.sum);
+                    let _ = writeln!(out, "dual_{metric}_count{{{label}=\"{name}\"}} {}", h.count);
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Point-in-time values for one histogram.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct HistogramSnapshot {
@@ -348,6 +408,45 @@ impl HistogramSnapshot {
             *o = acc;
         }
         out
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`): the
+    /// bound of the first bucket whose cumulative count reaches rank
+    /// `ceil(q * count)`. Exact at bucket granularity (powers of two),
+    /// fully deterministic, `0` for an empty histogram, and
+    /// `u64::MAX` when the rank lands in the overflow bucket.
+    #[must_use]
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_sign_loss,
+        clippy::cast_possible_truncation
+    )]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        for (i, &cum) in self.cumulative().iter().enumerate() {
+            if cum >= rank {
+                return if i == HIST_BUCKETS {
+                    u64::MAX
+                } else {
+                    bucket_bound(i)
+                };
+            }
+        }
+        u64::MAX
+    }
+
+    /// The `(p50, p95, p99)` summary triple the report binaries embed.
+    #[must_use]
+    pub fn summary_quantiles(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
     }
 }
 
@@ -586,6 +685,57 @@ mod tests {
         assert!(text.contains("dual_span_kmeans_fit_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("dual_span_kmeans_fit_count 2"));
         assert!(text.contains("dual_span_kmeans_fit_sum 101"));
+    }
+
+    #[test]
+    fn quantiles_pick_the_covering_bucket_bound() {
+        let h = HistogramSnapshot::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+
+        let r = Registry::new();
+        // 90 observations of 1, 9 of 100 (bucket bound 128), 1 of
+        // 10_000 (bound 16384): ranks land exactly where expected.
+        for _ in 0..90 {
+            r.observe(Key::StreamBatchPoints, 1);
+        }
+        for _ in 0..9 {
+            r.observe(Key::StreamBatchPoints, 100);
+        }
+        r.observe(Key::StreamBatchPoints, 10_000);
+        let h = r.histogram(Key::StreamBatchPoints);
+        assert_eq!(h.summary_quantiles(), (1, 128, 128));
+        assert_eq!(h.quantile(1.0), 16_384);
+        assert_eq!(h.quantile(0.0), 1, "q=0 clamps to rank 1");
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_saturates() {
+        let r = Registry::new();
+        r.observe(Key::StreamBatchPoints, u64::MAX);
+        let h = r.histogram(Key::StreamBatchPoints);
+        assert_eq!(h.quantile(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn merged_prometheus_labels_every_sample_once_per_stream() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.add(Key::StreamIngested, 5);
+        b.add(Key::StreamIngested, 7);
+        b.observe(Key::StreamBatchPoints, 3);
+        let text = to_prometheus_merged("tenant", &[("atlas", &a), ("bravo", &b)]);
+        // One TYPE line per key, one sample per stream, label first.
+        assert_eq!(
+            text.matches("# TYPE dual_stream_ingested_total counter")
+                .count(),
+            1
+        );
+        assert!(text.contains("dual_stream_ingested_total{tenant=\"atlas\"} 5"));
+        assert!(text.contains("dual_stream_ingested_total{tenant=\"bravo\"} 7"));
+        assert!(text.contains("dual_stream_batch_points_bucket{tenant=\"bravo\",le=\"4\"} 1"));
+        assert!(text.contains("dual_stream_batch_points_count{tenant=\"atlas\"} 0"));
+        let types = text.lines().filter(|l| l.starts_with("# TYPE")).count();
+        assert_eq!(types, Key::ALL.len(), "exactly one TYPE line per key");
     }
 
     // Keep the shared-vocabulary types referenced from this module's

@@ -1,0 +1,64 @@
+//! Golden pin of the `Key` wire table: `(wire_id, kind, slot, name)`
+//! for every key, in `Key::ALL` order. Wire ids address keys in
+//! serialized formats (dual-snap alert rules, dashboards), and slots
+//! address registry storage — neither may ever be silently renumbered
+//! by a key addition.
+//!
+//! If this test fails you reordered or removed keys. Don't: append new
+//! keys after the existing ones in their section so old ids keep their
+//! meaning, then regenerate the golden with:
+//!
+//! ```text
+//! DUAL_OBS_WRITE_GOLDEN=1 cargo test -p dual-obs --test key_wire_golden
+//! ```
+
+use dual_obs::{Key, Kind};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/key_wire.txt");
+
+fn render_table() -> String {
+    let mut out = String::new();
+    for key in Key::ALL {
+        let (kind, slot) = key.slot();
+        let kind = match kind {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        };
+        out.push_str(&format!(
+            "{:>3} {kind:<9} {slot:>3} {}\n",
+            key.wire_id(),
+            key.name()
+        ));
+    }
+    out
+}
+
+#[test]
+fn wire_ids_round_trip_and_follow_all_order() {
+    for (i, key) in Key::ALL.iter().enumerate() {
+        assert_eq!(usize::from(key.wire_id()), i, "wire id is ALL position");
+        assert_eq!(Key::from_wire_id(key.wire_id()), Some(*key));
+    }
+    let next = u16::try_from(Key::ALL.len()).expect("small vocabulary");
+    assert_eq!(Key::from_wire_id(next), None, "unknown ids fail closed");
+}
+
+#[test]
+fn key_wire_table_matches_golden() {
+    let table = render_table();
+    if std::env::var("DUAL_OBS_WRITE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &table).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "golden file missing: run DUAL_OBS_WRITE_GOLDEN=1 cargo test -p dual-obs \
+         --test key_wire_golden",
+    );
+    assert_eq!(
+        table, golden,
+        "Key wire table drifted. Existing (id, kind, slot, name) rows must never change — \
+         append new keys instead. If rows only got ADDED at section ends, regenerate with \
+         DUAL_OBS_WRITE_GOLDEN=1."
+    );
+}

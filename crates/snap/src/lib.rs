@@ -13,7 +13,7 @@
 //! now)` reproduces the uninterrupted run bit-for-bit) is proven by
 //! `tests/tests/recovery.rs` and the `recovery_harness` CI gate.
 //!
-//! ## Wire format (version 1)
+//! ## Wire format (version 2)
 //!
 //! ```text
 //! offset  size  field
@@ -38,7 +38,11 @@
 //! * A decoder accepts exactly the versions it knows how to parse and
 //!   rejects newer ones with [`SnapError::UnsupportedVersion`].
 //! * Byte stability within a version is pinned by a golden file
-//!   (`results/snap_golden_v1.bin`).
+//!   (`results/snap_golden_v2.bin`).
+//!
+//! Version 2 appends the flight-recorder [`TraceState`] (ring
+//! capacity/counters, retained events, open-span stack, alert rules)
+//! to the payload and adds `trace_capacity` to [`ConfigState`].
 
 #![forbid(unsafe_code)]
 // Corrupt snapshots must surface as typed errors, not aborts:
@@ -54,8 +58,8 @@ mod tenant;
 
 pub use error::SnapError;
 pub use state::{
-    BatchCostState, ConfigState, EngineSnapshot, FaultFingerprint, FaultState, HistState,
-    MeterState, ModelState, ObsState, OpCount, ShardState,
+    AlertRuleWire, BatchCostState, ConfigState, EngineSnapshot, FaultFingerprint, FaultState,
+    HistState, MeterState, ModelState, ObsState, OpCount, ShardState, TraceEventState, TraceState,
 };
 pub use tenant::{TenantCheckpoint, TENANT_MAGIC, TENANT_VERSION};
 
@@ -65,7 +69,7 @@ use codec::{Reader, Writer};
 pub const MAGIC: [u8; 4] = *b"DSNP";
 
 /// Newest format version this build encodes and decodes.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
 
 impl EngineSnapshot {
     /// Serialize to the framed wire format. Deterministic: equal
@@ -121,6 +125,7 @@ mod tests {
                 shards: 2,
                 threads: 0,
                 snapshot_every: 8,
+                trace_capacity: 4,
             },
             now: 41,
             last_cut: 40,
@@ -209,6 +214,68 @@ mod tests {
                 stats_dead: 0,
             }),
             wear: vec![100, 0, 50],
+            trace: TraceState {
+                capacity: 4,
+                emitted: 7,
+                next_span: 5,
+                evicted: 3,
+                open: vec![3, 4],
+                events: vec![
+                    TraceEventState {
+                        seq: 3,
+                        tick: 38,
+                        span: 3,
+                        parent: 0,
+                        tag: 0,
+                        a: 0,
+                        b: 16,
+                        c: 0,
+                        name: String::new(),
+                    },
+                    TraceEventState {
+                        seq: 4,
+                        tick: 39,
+                        span: 4,
+                        parent: 3,
+                        tag: 2,
+                        a: 1,
+                        b: 0,
+                        c: 0,
+                        name: String::new(),
+                    },
+                    TraceEventState {
+                        seq: 5,
+                        tick: 40,
+                        span: 0,
+                        parent: 4,
+                        tag: 9,
+                        a: 0,
+                        b: 0,
+                        c: 0,
+                        name: "tenant-a".to_owned(),
+                    },
+                    TraceEventState {
+                        seq: 6,
+                        tick: 41,
+                        span: 0,
+                        parent: 4,
+                        tag: 12,
+                        a: 2.0f64.to_bits(),
+                        b: 1,
+                        c: 0,
+                        name: "quarantine-spike".to_owned(),
+                    },
+                ],
+                alerts: vec![AlertRuleWire {
+                    name: "quarantine-spike".to_owned(),
+                    signal_tag: 1,
+                    key_wire: 17,
+                    threshold_bits: 1.0f64.to_bits(),
+                    clear_bits: 0.0f64.to_bits(),
+                    latched: 1,
+                    last_bits: 2.0f64.to_bits(),
+                }],
+            },
         }
     }
 
@@ -297,7 +364,7 @@ mod tests {
         );
     }
 
-    /// Byte-stability pin: the v1 encoding of the fixed sample must
+    /// Byte-stability pin: the v2 encoding of the fixed sample must
     /// never drift. If this fails you changed the wire format — bump
     /// [`VERSION`] and add a new golden file instead. Regenerate (only
     /// for a NEW version) with:
@@ -309,17 +376,32 @@ mod tests {
             std::fs::write(
                 concat!(
                     env!("CARGO_MANIFEST_DIR"),
-                    "/../../results/snap_golden_v1.bin"
+                    "/../../results/snap_golden_v2.bin"
                 ),
                 &bytes,
             )
             .unwrap();
         }
-        let golden = include_bytes!("../../../results/snap_golden_v1.bin");
+        let golden = include_bytes!("../../../results/snap_golden_v2.bin");
         assert_eq!(
             bytes,
             golden.to_vec(),
             "snapshot wire format drifted within version {VERSION}"
+        );
+    }
+
+    /// The committed v1 golden must now fail closed: this build only
+    /// speaks v2, and old blobs carry an explicit version we reject
+    /// rather than misparse.
+    #[test]
+    fn v1_golden_is_rejected_as_unsupported() {
+        let v1 = include_bytes!("../../../results/snap_golden_v1.bin");
+        assert_eq!(
+            EngineSnapshot::decode(v1),
+            Err(SnapError::UnsupportedVersion {
+                got: 1,
+                supported: VERSION,
+            })
         );
     }
 }

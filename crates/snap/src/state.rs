@@ -39,6 +39,9 @@ pub struct ConfigState {
     pub threads: u64,
     /// Periodic write-ahead snapshot interval in ticks (0 = off).
     pub snapshot_every: u64,
+    /// Flight-recorder ring capacity (0 = recorder off). New in
+    /// format version 2.
+    pub trace_capacity: u64,
 }
 
 impl ConfigState {
@@ -55,6 +58,7 @@ impl ConfigState {
         w.put_u64(self.shards);
         w.put_u64(self.threads);
         w.put_u64(self.snapshot_every);
+        w.put_u64(self.trace_capacity);
     }
 
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, SnapError> {
@@ -71,6 +75,7 @@ impl ConfigState {
             shards: r.u64()?,
             threads: r.u64()?,
             snapshot_every: r.u64()?,
+            trace_capacity: r.u64()?,
         })
     }
 }
@@ -466,6 +471,191 @@ impl FaultState {
     }
 }
 
+/// One flight-recorder event, flattened to the trace crate's stable
+/// wire tuple: a variant tag, three numeric words (`f64`s as
+/// `to_bits`), and an optional label (tenant or rule name). The
+/// mapping is owned by `dual_trace::Event::wire` / `from_wire`;
+/// unknown tags fail closed at restore time, not here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEventState {
+    /// Monotone emission ordinal.
+    pub seq: u64,
+    /// Logical tick the event was recorded at.
+    pub tick: u64,
+    /// Span id (0 for instantaneous events).
+    pub span: u64,
+    /// Enclosing span id at record time (0 at top level).
+    pub parent: u64,
+    /// Event variant tag.
+    pub tag: u8,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+    /// Third payload word.
+    pub c: u64,
+    /// Label payload ("" when the variant carries none).
+    pub name: String,
+}
+
+impl TraceEventState {
+    fn encode_into(&self, w: &mut Writer) {
+        w.put_u64(self.seq);
+        w.put_u64(self.tick);
+        w.put_u64(self.span);
+        w.put_u64(self.parent);
+        w.put_u8(self.tag);
+        w.put_u64(self.a);
+        w.put_u64(self.b);
+        w.put_u64(self.c);
+        w.put_str(&self.name);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            seq: r.u64()?,
+            tick: r.u64()?,
+            span: r.u64()?,
+            parent: r.u64()?,
+            tag: r.u8()?,
+            a: r.u64()?,
+            b: r.u64()?,
+            c: r.u64()?,
+            name: r.str_utf8()?,
+        })
+    }
+}
+
+/// One alert rule plus its evaluation state, fully self-contained so a
+/// restore needs no re-supplied rule list. The watched key travels as
+/// its `dual_obs::Key::wire_id` (pinned by obs' `key_wire_golden`
+/// test); signal tags: 0 counter, 1 per-eval delta, 2 gauge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlertRuleWire {
+    /// Rule name.
+    pub name: String,
+    /// Signal shape tag (see type docs).
+    pub signal_tag: u8,
+    /// Watched obs key, as its stable wire id.
+    pub key_wire: u64,
+    /// Raise threshold, as `f64::to_bits`.
+    pub threshold_bits: u64,
+    /// Re-arm level, as `f64::to_bits`.
+    pub clear_bits: u64,
+    /// 1 while raised, 0 while armed.
+    pub latched: u8,
+    /// Previous sample (delta baseline), as `f64::to_bits`.
+    pub last_bits: u64,
+}
+
+impl AlertRuleWire {
+    fn encode_into(&self, w: &mut Writer) {
+        w.put_str(&self.name);
+        w.put_u8(self.signal_tag);
+        w.put_u64(self.key_wire);
+        w.put_u64(self.threshold_bits);
+        w.put_u64(self.clear_bits);
+        w.put_u8(self.latched);
+        w.put_u64(self.last_bits);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            name: r.str_utf8()?,
+            signal_tag: r.u8()?,
+            key_wire: r.u64()?,
+            threshold_bits: r.u64()?,
+            clear_bits: r.u64()?,
+            latched: r.u8()?,
+            last_bits: r.u64()?,
+        })
+    }
+}
+
+/// Flight-recorder ring plus alert-engine state (new in format
+/// version 2): everything needed to replay the exact event history —
+/// retained records, ring counters, the open-span stack (a checkpoint
+/// may land mid-span), and per-rule alert latches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceState {
+    /// Ring capacity (0 = recorder disabled).
+    pub capacity: u64,
+    /// Events ever emitted.
+    pub emitted: u64,
+    /// Next span id to allocate.
+    pub next_span: u64,
+    /// Events evicted so far.
+    pub evicted: u64,
+    /// Open-span stack, outermost first.
+    pub open: Vec<u64>,
+    /// Retained events, oldest first.
+    pub events: Vec<TraceEventState>,
+    /// Alert rules and their latches, in evaluation order.
+    pub alerts: Vec<AlertRuleWire>,
+}
+
+impl TraceState {
+    /// An empty, disabled trace (the shape a recorder-off engine
+    /// snapshots).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            capacity: 0,
+            emitted: 0,
+            next_span: 1,
+            evicted: 0,
+            open: Vec::new(),
+            events: Vec::new(),
+            alerts: Vec::new(),
+        }
+    }
+
+    fn encode_into(&self, w: &mut Writer) {
+        w.put_u64(self.capacity);
+        w.put_u64(self.emitted);
+        w.put_u64(self.next_span);
+        w.put_u64(self.evicted);
+        w.put_u64_vec(&self.open);
+        w.put_u64(len_u64(self.events.len()));
+        for e in &self.events {
+            e.encode_into(w);
+        }
+        w.put_u64(len_u64(self.alerts.len()));
+        for a in &self.alerts {
+            a.encode_into(w);
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let capacity = r.u64()?;
+        let emitted = r.u64()?;
+        let next_span = r.u64()?;
+        let evicted = r.u64()?;
+        let open = r.u64_vec()?;
+        // 4 ordinal words + tag + 3 payload words + name length.
+        let n = r.count(65)?;
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            events.push(TraceEventState::decode_from(r)?);
+        }
+        // name length + tag + latched + 4 words.
+        let n = r.count(42)?;
+        let mut alerts = Vec::with_capacity(n);
+        for _ in 0..n {
+            alerts.push(AlertRuleWire::decode_from(r)?);
+        }
+        Ok(Self {
+            capacity,
+            emitted,
+            next_span,
+            evicted,
+            open,
+            events,
+            alerts,
+        })
+    }
+}
+
 /// The complete engine snapshot: everything a `StreamEngine::restore`
 /// needs (beyond the re-supplied encoder, cost model, and fault plan)
 /// to continue a run bit-for-bit.
@@ -490,6 +680,8 @@ pub struct EngineSnapshot {
     pub fault: Option<FaultState>,
     /// Endurance wear-leveler per-block write counts.
     pub wear: Vec<u64>,
+    /// Flight-recorder ring and alert-engine state (format v2).
+    pub trace: TraceState,
 }
 
 impl EngineSnapshot {
@@ -520,6 +712,7 @@ impl EngineSnapshot {
             }
         }
         w.put_u64_vec(&self.wear);
+        self.trace.encode_into(w);
     }
 
     pub(crate) fn decode_payload(r: &mut Reader<'_>) -> Result<Self, SnapError> {
@@ -544,6 +737,7 @@ impl EngineSnapshot {
             }
         };
         let wear = r.u64_vec()?;
+        let trace = TraceState::decode_from(r)?;
         Ok(Self {
             config,
             now,
@@ -554,6 +748,7 @@ impl EngineSnapshot {
             obs,
             fault,
             wear,
+            trace,
         })
     }
 }

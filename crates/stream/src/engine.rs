@@ -22,6 +22,7 @@ use dual_hdc::{Encoder, Hypervector};
 use dual_obs::{Key, Registry};
 use dual_pim::endurance::WearLeveler;
 use dual_pim::{CostModel, Op, StreamBatchCost, StreamMeter};
+use dual_trace::{AlertEngine, AlertRule, Cut, Event, Recorder, TraceError};
 use serde::{Deserialize, Serialize};
 
 /// Rows per crossbar block (the Table III anchor geometry): hypervector
@@ -60,12 +61,18 @@ pub struct StreamConfig {
     /// engine into [`StreamEngine::wal`]. `0` disables periodic
     /// capture (explicit [`StreamEngine::checkpoint`] still works).
     pub snapshot_every: u64,
+    /// Flight-recorder ring capacity in events (see
+    /// [`StreamEngine::trace`]); `0` turns the recorder off and every
+    /// trace site reduces to one branch.
+    #[serde(default)]
+    pub trace_capacity: usize,
 }
 
 impl StreamConfig {
     /// Defaults for `k` clusters: 1024-point ring, [`BackpressurePolicy::Block`],
     /// 256-point batches, 16-tick deadline, one sub-centroid per
-    /// cluster, no forgetting, 4 shards, auto threads.
+    /// cluster, no forgetting, 4 shards, auto threads, a 256-event
+    /// flight recorder.
     #[must_use]
     pub fn new(k: usize) -> Self {
         Self {
@@ -79,6 +86,7 @@ impl StreamConfig {
             shards: 4,
             threads: 0,
             snapshot_every: 0,
+            trace_capacity: 256,
         }
     }
 
@@ -289,6 +297,13 @@ pub struct StreamEngine<E> {
     /// The most recent write-ahead snapshot, refreshed every
     /// `snapshot_every` ticks (see [`StreamEngine::wal`]).
     pub(crate) wal: Option<Vec<u8>>,
+    /// Bounded deterministic flight recorder: batch/stage spans with
+    /// exact pJ/ns attribution, fault transitions, snapshot captures,
+    /// and alert firings, all on the logical tick clock.
+    pub(crate) trace: Recorder,
+    /// Tick-clock alert rules evaluated against [`StreamEngine::obs_registry`]
+    /// at the end of every tick (see [`StreamEngine::with_alerts`]).
+    pub(crate) alerts: AlertEngine,
 }
 
 impl<E: Encoder + Sync> StreamEngine<E> {
@@ -340,8 +355,31 @@ impl<E: Encoder + Sync> StreamEngine<E> {
             obs: Registry::new(),
             wear,
             wal: None,
+            trace: Recorder::new(config.trace_capacity),
+            alerts: AlertEngine::default(),
             config,
         })
+    }
+
+    /// Install tick-clock alert rules: every [`StreamEngine::tick`]
+    /// ends by evaluating them against the engine's private registry,
+    /// recording raise/clear transitions into the flight recorder.
+    /// Replaces any previously installed rule set (states re-arm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] when a rule is invalid
+    /// (empty name, non-finite or inverted thresholds, duplicate
+    /// names).
+    pub fn with_alerts(mut self, rules: Vec<AlertRule>) -> Result<Self, StreamError> {
+        self.alerts = AlertEngine::new(rules).map_err(|e| {
+            let (TraceError::InvalidRule { reason, .. } | TraceError::RestoreShape { reason }) = e;
+            StreamError::InvalidConfig {
+                name: "alerts",
+                reason,
+            }
+        })?;
+        Ok(self)
     }
 
     /// Enable deterministic fault injection: stored sub-centroids are
@@ -439,6 +477,22 @@ impl<E: Encoder + Sync> StreamEngine<E> {
     #[must_use]
     pub fn meter(&self) -> &StreamMeter {
         &self.meter
+    }
+
+    /// The flight recorder: the last `trace_capacity` structured events
+    /// (batch/stage spans with exact chip-cost attribution, fault and
+    /// snapshot transitions, alert firings) on the logical tick clock.
+    /// Render it with [`dual_trace::report_json`] or
+    /// [`dual_trace::chrome_trace`].
+    #[must_use]
+    pub fn trace(&self) -> &Recorder {
+        &self.trace
+    }
+
+    /// The installed alert rules and their latch states.
+    #[must_use]
+    pub fn alerts(&self) -> &AlertEngine {
+        &self.alerts
     }
 
     /// The endurance wear-leveler tracking per-block centroid-rewrite
@@ -605,6 +659,12 @@ impl<E: Encoder + Sync> StreamEngine<E> {
             let released = f.quarantine.tick(now);
             if !released.is_empty() {
                 self.obs.add(Key::FaultRequeued, as_u64(released.len()));
+                self.trace.emit(
+                    now,
+                    Event::QuarantineRelease {
+                        shards: as_u64(released.len()),
+                    },
+                );
                 self.refresh_fault_gauges();
             }
         }
@@ -617,6 +677,12 @@ impl<E: Encoder + Sync> StreamEngine<E> {
                 None => break,
             }
         }
+        // Alert rules run after the cuts, against post-cut metrics (so
+        // occupancy/trace gauges are fresh), and BEFORE the write-ahead
+        // capture — the blob carries the post-alert latches and the
+        // recorded transitions.
+        self.refresh_trace_gauges();
+        self.alerts.eval(now, &self.obs, &mut self.trace);
         // Write-ahead capture happens at the END of the tick, so the
         // blob holds the post-cut state of tick `now`: a restore
         // replays pushes/ticks strictly after `now` and lands
@@ -695,8 +761,23 @@ impl<E: Encoder + Sync> StreamEngine<E> {
             }
         }
         let n = as_u64(rows.len());
+        let tick = self.batcher.now();
+        let batch_span = self.trace.begin(
+            tick,
+            Event::BatchBegin {
+                reason: trace_cut(reason),
+                points: n,
+            },
+        );
 
         // Encode stage: deterministic parallel fan-out, chunk order.
+        let stage_span = self.trace.begin(
+            tick,
+            Event::StageEnter {
+                stage: dual_obs::Stage::Encoding,
+            },
+        );
+        let before = self.flight();
         let encoder = &self.encoder;
         let results: Vec<Result<Hypervector, dual_hdc::HdcError>> =
             dual_pool::par_map_chunks(&rows, self.config.threads, |_, chunk| {
@@ -707,9 +788,17 @@ impl<E: Encoder + Sync> StreamEngine<E> {
             encoded.push(r?);
         }
         self.charge_encode(n);
+        self.end_stage(tick, stage_span, dual_obs::Stage::Encoding, before);
 
         // Cluster stage: faults on → assign against the sensed view
         // (storage stays pristine; the majority rewrite heals it).
+        let stage_span = self.trace.begin(
+            tick,
+            Event::StageEnter {
+                stage: dual_obs::Stage::Nearest,
+            },
+        );
+        let before = self.flight();
         let update = match views {
             None => self.model.observe_batch(&encoded, self.config.threads),
             Some(views) => {
@@ -720,7 +809,17 @@ impl<E: Encoder + Sync> StreamEngine<E> {
             }
         };
         self.charge_assign(n, self.model.seeded());
+        self.end_stage(tick, stage_span, dual_obs::Stage::Nearest, before);
+
+        let stage_span = self.trace.begin(
+            tick,
+            Event::StageEnter {
+                stage: dual_obs::Stage::Update,
+            },
+        );
+        let before = self.flight();
         self.charge_update(n, as_u64(update.rebinarized));
+        self.end_stage(tick, stage_span, dual_obs::Stage::Update, before);
 
         self.obs.add(Key::StreamEncoded, n);
         self.obs
@@ -738,9 +837,46 @@ impl<E: Encoder + Sync> StreamEngine<E> {
         }
         self.batcher.note_cut();
         let cost = self.meter.commit_batch(n);
+        self.trace.end(
+            tick,
+            batch_span,
+            Event::BatchEnd {
+                batch: cost.batch,
+                time_ns: cost.time_ns,
+                energy_pj: cost.energy_pj,
+            },
+        );
         self.refresh_pim_gauges();
         self.refresh_fault_gauges();
         Ok(Some(cost))
+    }
+
+    /// The meter's open-batch totals, the baseline for per-stage
+    /// attribution deltas.
+    fn flight(&self) -> (f64, f64) {
+        let open = self.meter.in_flight();
+        (open.time_ns(), open.energy_pj())
+    }
+
+    /// Close a stage span with the exact chip cost the stage added to
+    /// the open batch since `before`.
+    fn end_stage(
+        &mut self,
+        tick: u64,
+        span: dual_trace::SpanId,
+        stage: dual_obs::Stage,
+        before: (f64, f64),
+    ) {
+        let after = self.flight();
+        self.trace.end(
+            tick,
+            span,
+            Event::StageExit {
+                stage,
+                time_ns: after.0 - before.0,
+                energy_pj: after.1 - before.1,
+            },
+        );
     }
 
     /// Whether any shard is currently benched (fault path only).
@@ -831,6 +967,12 @@ impl<E: Encoder + Sync> StreamEngine<E> {
                 && fault.quarantine.is_serving(shard)
             {
                 fault.quarantine.quarantine(shard, epoch);
+                self.trace.emit(
+                    epoch,
+                    Event::QuarantineTrip {
+                        shard: as_u64(shard),
+                    },
+                );
                 trips += 1;
             }
         }
@@ -843,6 +985,10 @@ impl<E: Encoder + Sync> StreamEngine<E> {
         }
         self.obs.add(Key::FaultInjected, injected);
         self.obs.add(Key::FaultHealed, healed);
+        if injected > 0 || healed > 0 {
+            self.trace
+                .emit(epoch, Event::FaultSense { injected, healed });
+        }
         if trips > 0 {
             self.obs.add(Key::FaultQuarantined, trips);
         }
@@ -863,6 +1009,23 @@ impl<E: Encoder + Sync> StreamEngine<E> {
         );
         self.obs
             .gauge(Key::FaultRereadReads, f64::from(f.policy.reads()));
+    }
+
+    /// Mirror ring occupancy and flight-recorder counters into the
+    /// registry's gauges, so alert rules (and exported snapshots) can
+    /// watch them on the tick clock.
+    fn refresh_trace_gauges(&mut self) {
+        self.obs
+            .gauge(Key::StreamRingOccupancy, as_f64(as_u64(self.ring.len())));
+        if self.trace.is_disabled() {
+            return;
+        }
+        self.obs
+            .gauge(Key::TraceEmitted, as_f64(self.trace.emitted()));
+        self.obs
+            .gauge(Key::TraceEvicted, as_f64(self.trace.evicted()));
+        self.obs
+            .gauge(Key::TraceAlertsRaised, as_f64(self.trace.alerts_raised()));
     }
 
     /// Mirror the meter's accumulated chip costs into the registry's
@@ -938,6 +1101,18 @@ impl<E: Encoder + Sync> StreamEngine<E> {
             self.wear
                 .record_writes(blk, rebinarized * as_u64(self.encoder.dim()));
         }
+    }
+}
+
+/// The trace-local mirror of a [`CutReason`] (`dual-trace` sits below
+/// `dual-stream` in the dependency graph, so the vocabulary is
+/// duplicated rather than shared).
+fn trace_cut(reason: CutReason) -> Cut {
+    match reason {
+        CutReason::Size => Cut::Size,
+        CutReason::Deadline => Cut::Deadline,
+        CutReason::Backpressure => Cut::Backpressure,
+        CutReason::Drain => Cut::Drain,
     }
 }
 
@@ -1428,6 +1603,112 @@ mod tests {
             assert_eq!(snap.energy_pj.to_bits(), gold_snap.energy_pj.to_bits());
             assert_eq!(status, gold_status, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn flight_recorder_traces_batches_with_stage_attribution() {
+        let mut cfg = StreamConfig::new(2);
+        cfg.max_batch = 4;
+        cfg.max_ticks = 1000;
+        let mut e = engine(cfg);
+        for i in 0..4 {
+            e.push(&point(i)).unwrap();
+        }
+        let costs = e.tick().unwrap();
+        assert_eq!(costs.len(), 1);
+        let recs: Vec<_> = e.trace().events().collect();
+        // batch.begin + 3 × (stage.enter, stage.exit) + batch.end.
+        assert_eq!(recs.len(), 8);
+        assert_eq!(recs[0].event.kind(), "batch.begin");
+        assert_eq!(recs[7].event.kind(), "batch.end");
+        let batch_span = recs[0].span;
+        assert!(recs[1..7].iter().all(|r| r.parent == batch_span));
+        // Per-stage attribution sums to the committed batch cost.
+        let mut stage_ns = 0.0;
+        let mut stage_pj = 0.0;
+        for r in &recs {
+            if let Event::StageExit {
+                time_ns, energy_pj, ..
+            } = r.event
+            {
+                stage_ns += time_ns;
+                stage_pj += energy_pj;
+            }
+        }
+        assert!((stage_ns - costs[0].time_ns).abs() < 1e-9);
+        assert!((stage_pj - costs[0].energy_pj).abs() < 1e-9);
+        assert_eq!(e.trace().open_depth(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_recorder() {
+        let mut cfg = StreamConfig::new(2);
+        cfg.trace_capacity = 0;
+        let mut e = engine(cfg);
+        for i in 0..20 {
+            e.push(&point(i)).unwrap();
+            if i % 5 == 4 {
+                e.tick().unwrap();
+            }
+        }
+        e.drain().unwrap();
+        assert!(e.trace().is_disabled());
+        assert_eq!(e.trace().emitted(), 0);
+        assert_eq!(e.obs_registry().gauge_value(Key::TraceEmitted), 0.0);
+    }
+
+    #[test]
+    fn alert_rules_fire_and_clear_on_the_tick_clock() {
+        use dual_trace::{AlertRule, Signal};
+        let mut cfg = StreamConfig::new(2);
+        cfg.max_batch = 4;
+        cfg.max_ticks = 1000;
+        let mut e = engine(cfg)
+            .with_alerts(vec![AlertRule {
+                name: "ring-backlog".to_owned(),
+                signal: Signal::Gauge(Key::StreamRingOccupancy),
+                threshold: 3.0,
+                clear: 0.0,
+            }])
+            .unwrap();
+        // Two points buffered: below threshold, no alert.
+        e.push(&point(0)).unwrap();
+        e.push(&point(1)).unwrap();
+        assert!(e.tick().unwrap().is_empty());
+        assert_eq!(e.alerts().latched(), 0);
+        // A third point crosses the threshold at the next tick... but
+        // four trigger a size cut first, so push only one more.
+        e.push(&point(2)).unwrap();
+        assert!(e.tick().unwrap().is_empty());
+        assert_eq!(e.alerts().latched(), 1, "occupancy 3 >= threshold 3");
+        // The size cut empties the ring and the alert clears.
+        e.push(&point(3)).unwrap();
+        assert_eq!(e.tick().unwrap().len(), 1);
+        assert_eq!(e.alerts().latched(), 0, "occupancy fell to 0");
+        let alerts: Vec<(bool, f64)> = e
+            .trace()
+            .events()
+            .filter_map(|r| match &r.event {
+                Event::Alert { raised, value, .. } => Some((*raised, *value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(alerts, vec![(true, 3.0), (false, 0.0)]);
+    }
+
+    #[test]
+    fn invalid_alert_rules_are_rejected_at_build() {
+        use dual_trace::{AlertRule, Signal};
+        let err = engine(StreamConfig::new(2)).with_alerts(vec![AlertRule {
+            name: "inverted".to_owned(),
+            signal: Signal::Counter(Key::StreamIngested),
+            threshold: 1.0,
+            clear: 2.0,
+        }]);
+        assert!(matches!(
+            err,
+            Err(StreamError::InvalidConfig { name: "alerts", .. })
+        ));
     }
 
     #[test]

@@ -36,8 +36,13 @@ use dual_obs::{HistogramSnapshot, Key, Kind, Registry, HIST_BUCKETS};
 use dual_pim::endurance::WearLeveler;
 use dual_pim::{CostModel, EnergyStats, Op, StreamBatchCost, StreamMeter};
 use dual_snap::{
-    BatchCostState, ConfigState, EngineSnapshot, FaultFingerprint, FaultState, HistState,
-    MeterState, ModelState, ObsState, OpCount, ShardState, SnapError,
+    AlertRuleWire, BatchCostState, ConfigState, EngineSnapshot, FaultFingerprint, FaultState,
+    HistState, MeterState, ModelState, ObsState, OpCount, ShardState, SnapError, TraceEventState,
+    TraceState,
+};
+use dual_trace::{
+    AlertEngine, AlertRule, AlertRuleState, Event, EventRecord, Recorder, RecorderState, Signal,
+    TraceError,
 };
 use std::collections::BTreeMap;
 
@@ -202,6 +207,112 @@ fn restore_obs(reg: &Registry, obs: &ObsState) -> Result<(), StreamError> {
     Ok(())
 }
 
+/// Flatten the flight recorder and alert engine into the snap payload
+/// shape. Events travel as their stable `(tag, a, b, c, name)` wire
+/// tuples, alert keys as `dual_obs::Key::wire_id`.
+fn capture_trace(rec: &Recorder, alerts: &AlertEngine) -> TraceState {
+    let s = rec.state();
+    TraceState {
+        capacity: s.capacity,
+        emitted: s.emitted,
+        next_span: s.next_span,
+        evicted: s.evicted,
+        open: s.open,
+        events: s
+            .events
+            .iter()
+            .map(|r| {
+                let (tag, a, b, c, name) = r.event.wire();
+                TraceEventState {
+                    seq: r.seq,
+                    tick: r.tick,
+                    span: r.span,
+                    parent: r.parent,
+                    tag,
+                    a,
+                    b,
+                    c,
+                    name: name.to_owned(),
+                }
+            })
+            .collect(),
+        alerts: alerts
+            .rules()
+            .iter()
+            .zip(alerts.states())
+            .map(|(rule, st)| {
+                let (signal_tag, key) = rule.signal.wire();
+                AlertRuleWire {
+                    name: rule.name.clone(),
+                    signal_tag,
+                    key_wire: u64::from(key.wire_id()),
+                    threshold_bits: rule.threshold.to_bits(),
+                    clear_bits: rule.clear.to_bits(),
+                    latched: u8::from(st.latched),
+                    last_bits: st.last.to_bits(),
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Rebuild the recorder and alert engine from a snapshot, failing
+/// closed on unknown event tags, unknown key wire ids, and any shape
+/// inconsistency the trace crate's own validators reject.
+fn restore_trace(ts: &TraceState) -> Result<(Recorder, AlertEngine), StreamError> {
+    let corrupt = |reason: &'static str| StreamError::Snapshot(SnapError::Corrupt { reason });
+    let trace_err = |e: TraceError| {
+        let (TraceError::InvalidRule { reason, .. } | TraceError::RestoreShape { reason }) = e;
+        corrupt(reason)
+    };
+    let mut events = Vec::with_capacity(ts.events.len());
+    for e in &ts.events {
+        let event = Event::from_wire(e.tag, e.a, e.b, e.c, &e.name)
+            .ok_or_else(|| corrupt("unknown trace event tag"))?;
+        events.push(EventRecord {
+            seq: e.seq,
+            tick: e.tick,
+            span: e.span,
+            parent: e.parent,
+            event,
+        });
+    }
+    let rec = Recorder::from_state(RecorderState {
+        capacity: ts.capacity,
+        emitted: ts.emitted,
+        next_span: ts.next_span,
+        evicted: ts.evicted,
+        open: ts.open.clone(),
+        events,
+    })
+    .map_err(trace_err)?;
+    let mut rules = Vec::with_capacity(ts.alerts.len());
+    let mut states = Vec::with_capacity(ts.alerts.len());
+    for a in &ts.alerts {
+        let key = u16::try_from(a.key_wire)
+            .ok()
+            .and_then(Key::from_wire_id)
+            .ok_or_else(|| corrupt("unknown alert key wire id"))?;
+        let signal =
+            Signal::from_wire(a.signal_tag, key).ok_or_else(|| corrupt("alert signal tag"))?;
+        if a.latched > 1 {
+            return Err(corrupt("alert latch flag"));
+        }
+        rules.push(AlertRule {
+            name: a.name.clone(),
+            signal,
+            threshold: f64::from_bits(a.threshold_bits),
+            clear: f64::from_bits(a.clear_bits),
+        });
+        states.push(AlertRuleState {
+            latched: a.latched == 1,
+            last: f64::from_bits(a.last_bits),
+        });
+    }
+    let alerts = AlertEngine::from_states(rules, states).map_err(trace_err)?;
+    Ok((rec, alerts))
+}
+
 /// Fingerprint of a [`FaultConfig`]: what a restore validates before
 /// trusting the re-supplied plan/policy to continue the snapshotted
 /// run.
@@ -248,6 +359,7 @@ fn rebuild_config(c: &ConfigState) -> Result<StreamConfig, StreamError> {
         shards: to_usize(c.shards, "config.shards")?,
         threads: to_usize(c.threads, "config.threads")?,
         snapshot_every: c.snapshot_every,
+        trace_capacity: to_usize(c.trace_capacity, "config.trace_capacity")?,
     };
     cfg.validate()?;
     Ok(cfg)
@@ -272,6 +384,17 @@ impl<E: Encoder + Sync> StreamEngine<E> {
         self.obs.add(Key::SnapCaptured, 1);
         self.obs
             .gauge(Key::SnapLastTick, as_f64(self.batcher.now()));
+        // The capture event is recorded BEFORE encoding so the blob
+        // itself retains it — a restored run replays with the exact
+        // event history of the uninterrupted one. (It deliberately
+        // carries no size payload: that would make the blob length
+        // depend on itself; `snap.bytes` has the size.)
+        self.trace.emit(
+            self.batcher.now(),
+            dual_trace::Event::SnapCapture {
+                tick: self.batcher.now(),
+            },
+        );
         let probe = self.capture().encode().len();
         self.obs.gauge(Key::SnapBytes, as_f64(as_u64(probe)));
         let bytes = self.capture().encode();
@@ -298,6 +421,7 @@ impl<E: Encoder + Sync> StreamEngine<E> {
             shards: as_u64(cfg.shards),
             threads: as_u64(cfg.threads),
             snapshot_every: cfg.snapshot_every,
+            trace_capacity: as_u64(cfg.trace_capacity),
         };
         let pending: Vec<Vec<u64>> = self
             .ring
@@ -400,6 +524,7 @@ impl<E: Encoder + Sync> StreamEngine<E> {
             obs: capture_obs(&self.obs),
             fault,
             wear: self.wear.writes().to_vec(),
+            trace: capture_trace(&self.trace, &self.alerts),
         }
     }
 
@@ -650,6 +775,23 @@ impl<E: Encoder + Sync> StreamEngine<E> {
         }
         engine.wear = WearLeveler::restore(snap.wear.clone());
 
+        // Flight recorder + alert rules: the full ring (and any open
+        // spans) resumes from the blob, so the replayed event history
+        // is byte-identical to the uninterrupted run's. The restore
+        // marker itself is a volatile note — visible in a Chrome
+        // export, never in the replayable ring.
+        if snap.trace.capacity != snap.config.trace_capacity {
+            return Err(StreamError::Snapshot(SnapError::Corrupt {
+                reason: "trace capacity disagrees with the config",
+            }));
+        }
+        let (trace, alerts) = restore_trace(&snap.trace)?;
+        engine.trace = trace;
+        engine.alerts = alerts;
+        engine
+            .trace
+            .note(snap.now, Event::SnapRestore { tick: snap.now });
+
         engine.obs.add(Key::SnapRestored, 1);
         Ok(engine)
     }
@@ -716,6 +858,70 @@ mod tests {
             "stable obs JSON must be byte-identical after replay"
         );
         assert_eq!(resumed.wear().writes(), gold.wear().writes());
+        assert_eq!(
+            resumed.trace().state(),
+            gold.trace().state(),
+            "the replayed flight-recorder history must be identical"
+        );
+        assert_eq!(
+            dual_trace::report_json(&[("engine", resumed.trace())]),
+            dual_trace::report_json(&[("engine", gold.trace())]),
+            "trace report bytes must match after replay"
+        );
+        assert_eq!(
+            resumed.trace().notes().count(),
+            1,
+            "the restore leaves exactly one volatile snap.restore note"
+        );
+    }
+
+    #[test]
+    fn alert_latches_survive_checkpoint_restore() {
+        use dual_trace::{AlertRule, Signal};
+        let rules = || {
+            vec![AlertRule {
+                name: "ingest-volume".to_owned(),
+                signal: Signal::Counter(Key::StreamIngested),
+                threshold: 10.0,
+                clear: 0.0,
+            }]
+        };
+        let mut e = engine(3).with_alerts(rules()).unwrap();
+        drive(&mut e, 0..20);
+        assert_eq!(e.alerts().latched(), 1, "threshold crossed at point 10");
+        assert_eq!(e.trace().alerts_raised(), 1);
+        let blob = e.checkpoint();
+
+        let mapper = HdMapper::new(64, 2, 7).unwrap();
+        let resumed = StreamEngine::restore(mapper, &blob).unwrap();
+        assert_eq!(resumed.alerts().rules(), e.alerts().rules());
+        assert_eq!(resumed.alerts().states(), e.alerts().states());
+        assert_eq!(resumed.trace().alerts_raised(), 1);
+    }
+
+    #[test]
+    fn corrupt_trace_sections_fail_closed() {
+        let mut e = engine(2);
+        drive(&mut e, 0..10);
+        let mut snap = e.capture();
+        snap.trace.emitted += 1;
+        let mapper = HdMapper::new(64, 2, 7).unwrap();
+        assert!(
+            StreamEngine::restore(mapper, &snap.encode()).is_err(),
+            "ring accounting mismatch must be rejected"
+        );
+
+        let mut snap = e.capture();
+        if let Some(ev) = snap.trace.events.first_mut() {
+            ev.tag = 200;
+        }
+        let mapper = HdMapper::new(64, 2, 7).unwrap();
+        assert!(matches!(
+            StreamEngine::restore(mapper, &snap.encode()),
+            Err(StreamError::Snapshot(SnapError::Corrupt {
+                reason: "unknown trace event tag"
+            }))
+        ));
     }
 
     #[test]

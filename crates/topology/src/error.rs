@@ -29,6 +29,13 @@ pub enum TopologyError {
         /// Why the quota was rejected.
         reason: &'static str,
     },
+    /// A service-level alert rule was rejected by the trace layer.
+    InvalidAlert {
+        /// The offending rule's name (may be empty).
+        rule: String,
+        /// Why the rule was rejected.
+        reason: &'static str,
+    },
     /// A checkpoint decoded cleanly but belongs to a different tenant.
     WrongTenant {
         /// The tenant the caller addressed.
@@ -49,6 +56,9 @@ impl fmt::Display for TopologyError {
             Self::DuplicateTenant { name } => write!(f, "tenant {name:?} already exists"),
             Self::InvalidName { reason } => write!(f, "invalid tenant name: {reason}"),
             Self::InvalidQuota { reason } => write!(f, "invalid quota: {reason}"),
+            Self::InvalidAlert { rule, reason } => {
+                write!(f, "invalid alert rule {rule:?}: {reason}")
+            }
             Self::WrongTenant { expected, got } => write!(
                 f,
                 "checkpoint addressed to tenant {got:?}, not {expected:?}"

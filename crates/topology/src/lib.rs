@@ -4,7 +4,7 @@
 //! fully isolated [`dual_stream::StreamEngine`] — its own obs
 //! [`dual_obs::Registry`], its own fault-quarantine stack, its own
 //! snapshot WAL — hosted behind a source→engine→sink pipeline the
-//! [`Topology`] drives. The service owns three things the engines
+//! [`Topology`] drives. The service owns four things the engines
 //! themselves cannot:
 //!
 //! 1. **Admission control** — per-tenant ingest quotas priced in chip
@@ -25,6 +25,14 @@
 //!    frames over `dual-snap`), and a merged [`Topology::stable_json`]
 //!    export namespacing each tenant's stable metrics under
 //!    `tenant.<name>.*`.
+//! 4. **Cross-tenant observability** — a service-level flight
+//!    recorder ([`Topology::trace`]) capturing admission refusals,
+//!    scheduler admit/defer decisions, and [`Topology::set_alerts`]
+//!    rule transitions on the topology tick clock; merged byte-stable
+//!    exports over every tenant's recorder
+//!    ([`Topology::chrome_trace`] / [`Topology::trace_report`]) and a
+//!    tenant-labelled Prometheus exposition
+//!    ([`Topology::to_prometheus`]).
 //!
 //! ## Isolation contract
 //!
@@ -358,6 +366,179 @@ mod tests {
         again.push("zeta", &point(1)).unwrap();
         again.tick().unwrap();
         assert_eq!(json, again.stable_json());
+    }
+
+    #[test]
+    fn service_trace_records_admission_and_scheduling() {
+        use dual_trace::Event;
+        let mut topo = Topology::new();
+        topo.add_tenant(
+            TenantSpec::new("a", small_config()).with_quota(QuotaSpec::per_tick(0.0)),
+            encoder(),
+        )
+        .unwrap();
+        for i in 0..4 {
+            topo.push("a", &point(i)).unwrap();
+        }
+        topo.tick().unwrap(); // scheduled: admit; spend makes it over budget
+        assert_eq!(topo.push("a", &point(9)).unwrap(), Admission::QuotaRejected);
+        topo.tick().unwrap(); // over budget: defer
+        let kinds: Vec<(&str, u64)> = topo
+            .trace()
+            .events()
+            .map(|r| (r.event.kind(), r.tick))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("tenant.admit", 1),
+                ("tenant.reject", 1),
+                ("tenant.defer", 2),
+            ]
+        );
+        let names: Vec<&str> = topo
+            .trace()
+            .events()
+            .filter_map(|r| match &r.event {
+                Event::TenantAdmit { tenant }
+                | Event::TenantDefer { tenant }
+                | Event::TenantReject { tenant, .. } => Some(tenant.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["a", "a", "a"]);
+    }
+
+    #[test]
+    fn quota_shed_is_traced_as_a_shedding_reject() {
+        use dual_trace::Event;
+        let mut topo = Topology::new();
+        topo.add_tenant(
+            TenantSpec::new("a", small_config()).with_quota(
+                QuotaSpec::per_tick(0.0).with_escalation(BackpressurePolicy::DropOldest),
+            ),
+            encoder(),
+        )
+        .unwrap();
+        for i in 0..4 {
+            topo.push("a", &point(i)).unwrap();
+        }
+        topo.tick().unwrap();
+        for i in 4..14 {
+            topo.push("a", &point(i)).unwrap();
+        }
+        let sheds = topo
+            .trace()
+            .events()
+            .filter(|r| matches!(r.event, Event::TenantReject { shed: true, .. }))
+            .count();
+        assert_eq!(
+            u64::try_from(sheds).unwrap(),
+            topo.status("a").unwrap().quota_shed
+        );
+        assert!(sheds > 0);
+    }
+
+    #[test]
+    fn service_alerts_fire_on_topology_counters() {
+        use dual_trace::{AlertRule, Event, Signal};
+        let mut topo = Topology::new();
+        topo.add_tenant(
+            TenantSpec::new("a", small_config()).with_quota(QuotaSpec::per_tick(0.0)),
+            encoder(),
+        )
+        .unwrap();
+        topo.set_alerts(vec![AlertRule::edge(
+            "deferral-storm",
+            Signal::Delta(Key::TopoDeferred),
+            1.0,
+        )])
+        .unwrap();
+        for i in 0..4 {
+            topo.push("a", &point(i)).unwrap();
+        }
+        topo.tick().unwrap(); // scheduled: no deferrals yet
+        assert_eq!(topo.trace().alerts_raised(), 0);
+        topo.tick().unwrap(); // deferred: delta 1 >= threshold
+        assert_eq!(topo.trace().alerts_raised(), 1);
+        assert_eq!(topo.alert_engine().latched(), 1);
+        let raised: Vec<(String, bool)> = topo
+            .trace()
+            .events()
+            .filter_map(|r| match &r.event {
+                Event::Alert { rule, raised, .. } => Some((rule.clone(), *raised)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(raised, vec![("deferral-storm".to_owned(), true)]);
+        // Invalid rules are refused with a typed error.
+        assert!(matches!(
+            topo.set_alerts(vec![AlertRule {
+                name: "bad".to_owned(),
+                signal: Signal::Gauge(Key::TopoTenants),
+                threshold: 1.0,
+                clear: 2.0,
+            }]),
+            Err(TopologyError::InvalidAlert { .. })
+        ));
+    }
+
+    #[test]
+    fn merged_trace_exports_order_streams_by_name() {
+        let mut topo = Topology::new();
+        for name in ["zeta", "alpha"] {
+            topo.add_tenant(TenantSpec::new(name, small_config()), encoder())
+                .unwrap();
+        }
+        topo.push("zeta", &point(1)).unwrap();
+        topo.tick().unwrap();
+        let chrome = topo.chrome_trace();
+        let topo_pos = chrome.find("\"args\":{\"name\":\"topology\"}").unwrap();
+        let alpha_pos = chrome.find("\"args\":{\"name\":\"alpha\"}").unwrap();
+        let zeta_pos = chrome.find("\"args\":{\"name\":\"zeta\"}").unwrap();
+        assert!(topo_pos < alpha_pos && alpha_pos < zeta_pos);
+        let report = topo.trace_report();
+        assert!(report.contains("\"name\": \"topology\""));
+        assert!(report.contains("\"kind\":\"tenant.admit\""));
+        // Byte-stable: an identical schedule renders identical bytes.
+        let mut again = Topology::new();
+        for name in ["zeta", "alpha"] {
+            again
+                .add_tenant(TenantSpec::new(name, small_config()), encoder())
+                .unwrap();
+        }
+        again.push("zeta", &point(1)).unwrap();
+        again.tick().unwrap();
+        assert_eq!(report, again.trace_report());
+        assert_eq!(chrome, again.chrome_trace());
+    }
+
+    #[test]
+    fn prometheus_export_namespaces_tenants() {
+        let mut topo = Topology::new();
+        for name in ["zeta", "alpha"] {
+            topo.add_tenant(TenantSpec::new(name, small_config()), encoder())
+                .unwrap();
+        }
+        topo.push("zeta", &point(1)).unwrap();
+        topo.tick().unwrap();
+        let prom = topo.to_prometheus();
+        assert!(prom.contains("# TYPE dual_topology_tenants gauge"));
+        assert!(prom.contains("dual_topology_tenants{tenant=\"topology\"} 2"));
+        assert!(prom.contains("dual_stream_ingested_total{tenant=\"zeta\"} 1"));
+        assert!(prom.contains("dual_stream_ingested_total{tenant=\"alpha\"} 0"));
+        // Within a metric family: service first, tenants sorted.
+        let t = prom
+            .find("dual_topology_scheduled_ticks_total{tenant=\"topology\"}")
+            .unwrap();
+        let a = prom
+            .find("dual_topology_scheduled_ticks_total{tenant=\"alpha\"}")
+            .unwrap();
+        let z = prom
+            .find("dual_topology_scheduled_ticks_total{tenant=\"zeta\"}")
+            .unwrap();
+        assert!(t < a && a < z);
+        assert_eq!(prom, topo.to_prometheus(), "render is pure");
     }
 
     #[test]

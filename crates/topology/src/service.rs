@@ -11,6 +11,12 @@ use dual_snap::TenantCheckpoint;
 use dual_stream::{
     BackpressurePolicy, FaultConfig, FaultStatus, PushOutcome, StreamEngine, StreamSnapshot,
 };
+use dual_trace::{AlertEngine, AlertRule, Event, Recorder, TraceError};
+
+/// Ring capacity of the service-level flight recorder: admission and
+/// scheduling events are per-tenant-per-tick, so a deeper ring than
+/// the per-engine default keeps a useful window over many tenants.
+const SERVICE_TRACE_CAPACITY: usize = 1024;
 
 /// One hosted tenant: its engine plus its admission ledger.
 #[derive(Debug)]
@@ -146,6 +152,11 @@ pub struct Topology<E> {
     /// Service-level metrics (`topology.*`), separate from every
     /// tenant's private registry.
     obs: Registry,
+    /// Service-level flight recorder: admission gate and scheduler
+    /// decisions on the topology tick clock.
+    trace: Recorder,
+    /// Service-level alert rules, evaluated against `obs` every tick.
+    alerts: AlertEngine,
 }
 
 impl<E: Encoder + Sync> Default for Topology<E> {
@@ -162,6 +173,8 @@ impl<E: Encoder + Sync> Topology<E> {
             tenants: Vec::new(),
             tick: 0,
             obs: Registry::new(),
+            trace: Recorder::new(SERVICE_TRACE_CAPACITY),
+            alerts: AlertEngine::default(),
         }
     }
 
@@ -249,6 +262,13 @@ impl<E: Encoder + Sync> Topology<E> {
             BackpressurePolicy::Reject => {
                 t.engine.obs_registry().add(Key::TopoQuotaRejected, 1);
                 self.obs.add(Key::TopoQuotaRejected, 1);
+                self.trace.emit(
+                    self.tick,
+                    Event::TenantReject {
+                        tenant: t.name.clone(),
+                        shed: false,
+                    },
+                );
                 Ok(Admission::QuotaRejected)
             }
             BackpressurePolicy::DropOldest => {
@@ -258,6 +278,13 @@ impl<E: Encoder + Sync> Topology<E> {
                 if outcome == PushOutcome::AcceptedDroppedOldest {
                     t.engine.obs_registry().add(Key::TopoQuotaShed, 1);
                     self.obs.add(Key::TopoQuotaShed, 1);
+                    self.trace.emit(
+                        self.tick,
+                        Event::TenantReject {
+                            tenant: t.name.clone(),
+                            shed: true,
+                        },
+                    );
                 }
                 Ok(Admission::Escalated(outcome))
             }
@@ -284,6 +311,7 @@ impl<E: Encoder + Sync> Topology<E> {
         let n = self.tenants.len();
         let mut entries = Vec::with_capacity(n);
         if n == 0 {
+            self.alerts.eval(self.tick, &self.obs, &mut self.trace);
             return Ok(TickReport {
                 tick: self.tick,
                 entries,
@@ -302,6 +330,12 @@ impl<E: Encoder + Sync> Topology<E> {
             if t.over_budget() {
                 t.engine.obs_registry().add(Key::TopoDeferred, 1);
                 self.obs.add(Key::TopoDeferred, 1);
+                self.trace.emit(
+                    self.tick,
+                    Event::TenantDefer {
+                        tenant: t.name.clone(),
+                    },
+                );
                 entries.push(TenantTick {
                     name: t.name.clone(),
                     deferred: true,
@@ -310,6 +344,12 @@ impl<E: Encoder + Sync> Topology<E> {
             } else {
                 let costs = t.engine.tick()?;
                 self.obs.add(Key::TopoScheduled, 1);
+                self.trace.emit(
+                    self.tick,
+                    Event::TenantAdmit {
+                        tenant: t.name.clone(),
+                    },
+                );
                 entries.push(TenantTick {
                     name: t.name.clone(),
                     deferred: false,
@@ -317,6 +357,7 @@ impl<E: Encoder + Sync> Topology<E> {
                 });
             }
         }
+        self.alerts.eval(self.tick, &self.obs, &mut self.trace);
         Ok(TickReport {
             tick: self.tick,
             entries,
@@ -552,6 +593,96 @@ impl<E: Encoder + Sync> Topology<E> {
     #[must_use]
     pub fn obs_registry(&self) -> &Registry {
         &self.obs
+    }
+
+    /// Install service-level alert rules, replacing any previous set.
+    /// Rules are evaluated against the service registry (`topology.*`
+    /// keys) at the end of every [`Topology::tick`]; raise/clear
+    /// transitions land in the service flight recorder as
+    /// [`Event::Alert`] records on the topology tick clock.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::InvalidAlert`] for empty/duplicate names,
+    /// non-finite thresholds, or `clear > threshold`.
+    pub fn set_alerts(&mut self, rules: Vec<AlertRule>) -> Result<(), TopologyError> {
+        self.alerts = AlertEngine::new(rules).map_err(|e| match e {
+            TraceError::InvalidRule { rule, reason } => {
+                TopologyError::InvalidAlert { rule, reason }
+            }
+            TraceError::RestoreShape { reason } => TopologyError::InvalidAlert {
+                rule: String::new(),
+                reason,
+            },
+        })?;
+        Ok(())
+    }
+
+    /// The service-level flight recorder: admission gate refusals,
+    /// scheduler admit/defer decisions, and alert transitions, all on
+    /// the topology tick clock.
+    #[must_use]
+    pub fn trace(&self) -> &Recorder {
+        &self.trace
+    }
+
+    /// The service-level alert engine (rules and latch states).
+    #[must_use]
+    pub fn alert_engine(&self) -> &AlertEngine {
+        &self.alerts
+    }
+
+    /// Named recorder streams for the merged exporters: the service
+    /// recorder first (as `"topology"`), then every tenant's engine
+    /// recorder in sorted-name order — independent of registration
+    /// order, so renders are byte-stable.
+    fn trace_streams(&self) -> Vec<(&str, &Recorder)> {
+        let mut tenants: Vec<(&str, &Recorder)> = self
+            .tenants
+            .iter()
+            .map(|t| (t.name.as_str(), t.engine.trace()))
+            .collect();
+        tenants.sort_unstable_by_key(|(name, _)| *name);
+        let mut streams = Vec::with_capacity(tenants.len() + 1);
+        streams.push(("topology", &self.trace));
+        streams.extend(tenants);
+        streams
+    }
+
+    /// Byte-stable Chrome `trace_event` document merging the service
+    /// recorder and every tenant's flight recorder — one viewer
+    /// process per stream, `"topology"` first, tenants in sorted-name
+    /// order. Load it in `chrome://tracing` or Perfetto.
+    #[must_use]
+    pub fn chrome_trace(&self) -> String {
+        dual_trace::chrome_trace(&self.trace_streams())
+    }
+
+    /// Byte-stable compact trace report over the same stream set as
+    /// [`Topology::chrome_trace`] (see [`dual_trace::report_json`]).
+    /// Byte-identical across `DUAL_THREADS` values for the same
+    /// push/tick schedule.
+    #[must_use]
+    pub fn trace_report(&self) -> String {
+        dual_trace::report_json(&self.trace_streams())
+    }
+
+    /// Prometheus exposition text for the whole service: every metric
+    /// rendered once per registry with a `tenant` label — the service
+    /// registry as `tenant="topology"` first, then each tenant's
+    /// registry under its own name, in sorted-name order.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut regs: Vec<(&str, &Registry)> = self
+            .tenants
+            .iter()
+            .map(|t| (t.name.as_str(), t.engine.obs_registry()))
+            .collect();
+        regs.sort_unstable_by_key(|(name, _)| *name);
+        let mut streams = Vec::with_capacity(regs.len() + 1);
+        streams.push(("topology", &self.obs));
+        streams.extend(regs);
+        dual_obs::to_prometheus_merged("tenant", &streams)
     }
 }
 

@@ -1,0 +1,35 @@
+//! Error type for recorder construction and restore.
+
+use std::fmt;
+
+/// Why a recorder or alert engine could not be built or restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// An alert rule failed validation (e.g. `clear > threshold`).
+    InvalidRule {
+        /// The offending rule's name.
+        rule: String,
+        /// What the rule got wrong.
+        reason: &'static str,
+    },
+    /// Restored recorder state is internally inconsistent.
+    RestoreShape {
+        /// What the state got wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidRule { rule, reason } => {
+                write!(f, "invalid alert rule `{rule}`: {reason}")
+            }
+            Self::RestoreShape { reason } => {
+                write!(f, "trace restore state rejected: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}

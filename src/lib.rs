@@ -24,6 +24,7 @@
 //! | [`obs`] | `dual-obs` | deterministic metrics registry + logical-clock tracing |
 //! | [`snap`] | `dual-snap` | versioned write-ahead snapshot format + replay recovery |
 //! | [`topology`] | `dual-topology` | multi-tenant topology service: quotas, fair-share scheduling, lifecycle |
+//! | [`trace`] | `dual-trace` | deterministic flight recorder, causal spans, tick-clock alerting |
 //! | [`tsne`] | `dual-tsne` | exact t-SNE for the Fig. 11 visualization |
 //!
 //! ## Quickstart
@@ -64,6 +65,7 @@ pub use dual_pim as pim;
 pub use dual_snap as snap;
 pub use dual_stream as stream;
 pub use dual_topology as topology;
+pub use dual_trace as trace;
 pub use dual_tsne as tsne;
 
 // Compile the README / DESIGN code fences as doctests through the
