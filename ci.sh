@@ -10,7 +10,7 @@
 #   DUAL_THREADS=4 ./ci.sh       # same, with a pinned pool thread count
 #   DUAL_BENCH_TOL=0.2 ./ci.sh --stage bench   # loosen the perf ratchet
 #
-# Stages:
+# Stages (./ci.sh --list prints the same table):
 #   build        cargo build --release
 #   test         tier-1 root-package tests, then the full workspace
 #   doc          cargo test --doc --workspace (doctests incl. README/DESIGN fences)
@@ -24,10 +24,33 @@
 #   recovery     crash/restore/replay harness across DUAL_THREADS, byte-diffed
 #   verify-isa   static dataflow verification of every PIM trace + mutation gate
 #   topology     multi-tenant sweep: isolation report byte-diffed across DUAL_THREADS
+#   trace        flight-recorder kill/restore/replay identity, byte-diffed
+#   compile      verify-gated pipeline compilation + compiled-vs-interpreted differential
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(build test doc clippy fmt lint bench obs fault determinism recovery verify-isa topology trace)
+ALL_STAGES=(build test doc clippy fmt lint bench obs fault determinism recovery verify-isa topology trace compile)
+
+describe_stage() {
+  case "$1" in
+    build)       echo "cargo build --release" ;;
+    test)        echo "tier-1 root-package tests, then the full workspace" ;;
+    doc)         echo "cargo test --doc --workspace (doctests incl. README/DESIGN fences)" ;;
+    clippy)      echo "cargo clippy --workspace --all-targets -D warnings" ;;
+    fmt)         echo "cargo fmt --all --check" ;;
+    lint)        echo "dual-lint static-analysis gate (see DESIGN.md)" ;;
+    bench)       echo "perf ratchet: timing ratios vs results/bench_summary.json" ;;
+    obs)         echo "dual-obs overhead smoke + byte-stable obs snapshot diff" ;;
+    fault)       echo "fault-degradation sweep, diffed against the committed report" ;;
+    determinism) echo "seed x DUAL_THREADS matrix: reports must be byte-identical" ;;
+    recovery)    echo "crash/restore/replay harness across DUAL_THREADS, byte-diffed" ;;
+    verify-isa)  echo "static dataflow verification of every PIM trace + mutation gate" ;;
+    topology)    echo "multi-tenant sweep: isolation report byte-diffed across DUAL_THREADS" ;;
+    trace)       echo "flight-recorder kill/restore/replay identity, byte-diffed" ;;
+    compile)     echo "verify-gated pipeline compilation + compiled-vs-interpreted differential" ;;
+    *)           echo "" ;;
+  esac
+}
 
 # ---------------------------------------------------------------- stages
 
@@ -222,10 +245,42 @@ stage_trace() {
   rm -rf "$tmp"
 }
 
+stage_compile() {
+  local tmp
+  tmp=$(mktemp -d)
+  echo "--- compile_report: shape matrix, mutation corpus, engine + executor differentials"
+  # The bin itself asserts every shape compiles Verifier::check-clean,
+  # every mutation-corpus corruption is rejected with its expected
+  # diagnostic class, and interpreted-vs-compiled engines agree to the
+  # bit (snapshots, WAL, obs registries, energy ledgers); the sweep
+  # here pins the report bytes across thread counts and against the
+  # committed artifact.
+  for threads in 0 2 8; do
+    DUAL_THREADS=$threads cargo run -q -p dual-bench --release --bin compile_report -- \
+      --out "$tmp/compile_$threads.json" >/dev/null
+    echo "    DUAL_THREADS=$threads ok"
+  done
+  for threads in 2 8; do
+    diff "$tmp/compile_0.json" "$tmp/compile_$threads.json" \
+      || { echo "compile report diverged at DUAL_THREADS=$threads"; return 1; }
+  done
+  diff "$tmp/compile_0.json" results/compile_report.json \
+    || { echo "compile_report.json drifted: regenerate and commit it"; return 1; }
+  echo "    reports byte-identical across DUAL_THREADS in {0, 2, 8}"
+  rm -rf "$tmp"
+}
+
 # ---------------------------------------------------------------- driver
 
 list_stages() {
   printf '%s\n' "${ALL_STAGES[@]}"
+}
+
+print_stage_table() {
+  local s
+  for s in "${ALL_STAGES[@]}"; do
+    printf '  %-12s %s\n' "$s" "$(describe_stage "$s")"
+  done
 }
 
 is_stage() {
@@ -242,6 +297,13 @@ is_stage() {
 # call).
 if [[ "${1:-}" == "--run-one" ]]; then
   shift
+  # An unknown name must fail loudly with the stage list, never fall
+  # through to a missing-function error (or silently run nothing).
+  is_stage "${1:-}" || {
+    echo "unknown stage \`${1:-}\` — available stages:"
+    print_stage_table
+    exit 2
+  }
   # Stage names are kebab-case on the CLI, function names snake_case.
   "stage_${1//-/_}"
   exit 0
@@ -255,12 +317,16 @@ while [[ $# -gt 0 ]]; do
       [[ $# -gt 0 ]] || { echo "--stage requires a name (one of: $(list_stages | tr '\n' ' '))"; exit 2; }
       IFS=',' read -ra parts <<<"$1"
       for s in "${parts[@]}"; do
-        is_stage "$s" || { echo "unknown stage \`$s\` (one of: $(list_stages | tr '\n' ' '))"; exit 2; }
+        is_stage "$s" || {
+          echo "unknown stage \`$s\` — available stages:"
+          print_stage_table
+          exit 2
+        }
         SELECTED+=("$s")
       done
       ;;
     --list)
-      list_stages
+      print_stage_table
       exit 0
       ;;
     *)

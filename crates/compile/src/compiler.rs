@@ -1,0 +1,463 @@
+//! Lowering a clustering micro-batch onto the Table-I ISA.
+//!
+//! [`Compiler::compile`] unrolls the whole pipeline — encode, Hamming
+//! search, centroid update — for a [`PipelineShape`] into one flat
+//! [`Program`], then gates the artifact on
+//! [`dual_isa_verify::Verifier::check`]: any diagnostic (error *or*
+//! advisory) refuses the program. Every constant is folded at compile
+//! time; the hot loop that executes the result never branches on
+//! dimension, shard count or geometry again.
+//!
+//! Lowering choices worth naming:
+//!
+//! * **`set_qinput` hoisting** — the tree-walking runtime loads the
+//!   query register twice per point (once for the window sweep in
+//!   [`dual_isa::Runtime::hamming`], once for the CAM search in
+//!   `near_search`). The compiler proves the sweep consumes exactly
+//!   `dim` bits and the search only needs the span to *cover* its
+//!   field, so one load per point serves both: `batch` loads instead
+//!   of `2 × batch`.
+//! * **Window fusion license** — consecutive `hamm_7` pieces sweep
+//!   contiguous bit-ranges of the same chunk block, so an executor may
+//!   collapse each block's run into one word-level XOR-popcount span.
+//!   The [`crate::Vm`] executes windows literally; the
+//!   [`crate::CompiledPipeline`] kernel executes the fused form; the
+//!   differential suite pins them bit-identical.
+//! * **Column reuse** — encode temporaries live only between their
+//!   defining multiply and the accumulation that consumes them; the
+//!   linear-scan [`ColumnAllocator`] returns them between points, so
+//!   the scratch footprint stays at one point's worth of columns
+//!   regardless of batch size.
+
+use dual_isa::{ArithKind, Instruction, Program, Region};
+use dual_isa_verify::{Geometry, Verifier};
+
+use crate::alloc::{AllocStats, ColSpan, ColumnAllocator};
+use crate::error::CompileError;
+use crate::pipeline::CompiledPipeline;
+use crate::shape::{PipelineShape, COLS, DATA_COLS};
+
+/// Deliberate miscompilations for the verifier-rejection corpus: each
+/// variant force-feeds the register/column allocation a hazard that
+/// [`dual_isa_verify::Verifier::check`] must catch, proving the
+/// verify-at-build gate is load-bearing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Mutation {
+    /// The allocator hands the first multiply a destination span that
+    /// partially overlaps its operand.
+    OperandOverlap,
+    /// The first multiply's arithmetic scratch is pointed at its own
+    /// destination columns.
+    ScratchClobber,
+    /// The first accumulation's scratch base is dropped below the
+    /// data/scratch boundary.
+    ScratchBelowData,
+    /// An extra window sweep overruns the loaded query span.
+    QueryOverrun,
+}
+
+impl Mutation {
+    /// All corpus entries.
+    pub const ALL: [Self; 4] = [
+        Self::OperandOverlap,
+        Self::ScratchClobber,
+        Self::ScratchBelowData,
+        Self::QueryOverrun,
+    ];
+
+    /// Stable corpus name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::OperandOverlap => "operand-overlap",
+            Self::ScratchClobber => "scratch-clobber",
+            Self::ScratchBelowData => "scratch-below-data",
+            Self::QueryOverrun => "query-overrun",
+        }
+    }
+
+    /// The diagnostic class `Verifier::check` must report for this
+    /// corruption.
+    #[must_use]
+    pub fn expected_class(&self) -> &'static str {
+        match self {
+            Self::OperandOverlap => "operand-overlaps-destination",
+            Self::ScratchClobber => "scratch-overlaps-destination",
+            Self::ScratchBelowData => "scratch-below-data-boundary",
+            Self::QueryOverrun => "query-span-exceeded",
+        }
+    }
+}
+
+/// The pipeline compiler. Stateless — all state lives in the shape and
+/// the per-compilation allocator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Compiler;
+
+impl Compiler {
+    /// Lower `shape` into a verified [`CompiledPipeline`].
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::InvalidShape`] / [`CompileError::OutOfColumns`]
+    /// when the shape cannot be lowered, and
+    /// [`CompileError::Rejected`] when the emitted program fails the
+    /// verifier (a compiler bug by construction — the gate exists so
+    /// it can never escape).
+    pub fn compile(shape: PipelineShape) -> Result<CompiledPipeline, CompileError> {
+        let (program, alloc) = Self::build(shape)?;
+        let geometry = Geometry::new(shape.blocks(), shape.slots, COLS);
+        let report = Verifier::new(geometry).check(program.instructions());
+        if !report.diagnostics.is_empty() {
+            let (first_class, mnemonic) = report
+                .diagnostics
+                .first()
+                .map_or(("", "<none>"), |d| (d.error.class(), d.mnemonic));
+            return Err(CompileError::Rejected {
+                diagnostics: report.diagnostics.len(),
+                first_class,
+                mnemonic,
+            });
+        }
+        Ok(CompiledPipeline::new(shape, program, report.cost, alloc))
+    }
+
+    /// Build the program for `shape` and then corrupt it with
+    /// `mutation`, returning the *unverified* stream — corpus entries
+    /// are fed straight to `Verifier::check`, which must reject them
+    /// with [`Mutation::expected_class`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Compiler::compile`], for the build phase; the corruption
+    /// itself cannot fail.
+    pub fn compile_corrupted(
+        shape: PipelineShape,
+        mutation: Mutation,
+    ) -> Result<Program, CompileError> {
+        let (mut program, _) = Self::build(shape)?;
+        apply_mutation(&mut program, mutation);
+        Ok(program)
+    }
+
+    /// Emit the full unrolled pipeline (no verification).
+    fn build(shape: PipelineShape) -> Result<(Program, AllocStats), CompileError> {
+        shape.validate()?;
+        let mut program = Program::new(
+            format!(
+                "pipeline_d{}_f{}_k{}_sh{}_b{}",
+                shape.dim, shape.n_features, shape.slots, shape.shards, shape.batch
+            ),
+            shape.geometry(),
+        );
+        program.set_distance_region(Region {
+            block: shape.dist_block(),
+            col: 0,
+            bits: shape.dist_bits(),
+            rows: shape.slots,
+        });
+        let mut cols = ColumnAllocator::new(DATA_COLS);
+        // Batch-lived: the 16-bit centroid-accumulator counters the
+        // update stage folds every point into. Allocated first so
+        // every per-point temporary packs above it.
+        let update_acc = cols.alloc(16)?;
+        for _ in 0..shape.batch {
+            emit_encode_point(&mut program, &mut cols, shape)?;
+            emit_search_point(&mut program, shape);
+            emit_update_point(&mut program, shape, update_acc);
+        }
+        emit_writeback(&mut program, shape);
+        cols.free(update_acc);
+        Ok((program, cols.stats()))
+    }
+}
+
+/// Encode one point: `m` 8-bit feature×base multiplies, a
+/// `log2(m)+3`-deep 16-bit accumulation tree, and the 3-term Taylor
+/// cosine (2 squarings + 2 constant multiplies, charged as 4 16-bit
+/// multiplies) — replicated across the dimension's row blocks, exactly
+/// the op grid the stream meter prices for the encode stage.
+fn emit_encode_point(
+    program: &mut Program,
+    cols: &mut ColumnAllocator,
+    shape: PipelineShape,
+) -> Result<(), CompileError> {
+    let feat = cols.alloc(8)?;
+    let base = cols.alloc(8)?;
+    let mut prods = Vec::with_capacity(shape.n_features);
+    for _ in 0..shape.n_features {
+        prods.push(cols.alloc(8)?);
+    }
+    let acc = cols.alloc(16)?;
+    let tmp = cols.alloc(16)?;
+    for rb in 0..shape.row_blocks() {
+        let sb = shape.scratch_block(rb);
+        for prod in &prods {
+            program.push(Instruction::Arith {
+                kind: ArithKind::Mul,
+                b1: sb,
+                c1: feat.start,
+                b2: sb,
+                c2: base.start,
+                d: sb,
+                dc: prod.start,
+                c3: DATA_COLS,
+                bits: 8,
+                dbits: 8,
+            });
+        }
+        for _ in 0..shape.log_m() + 3 {
+            // In-place accumulate: destination aliases operand 1
+            // exactly (the canonical accumulator idiom).
+            program.push(Instruction::Arith {
+                kind: ArithKind::Add,
+                b1: sb,
+                c1: acc.start,
+                b2: sb,
+                c2: tmp.start,
+                d: sb,
+                dc: acc.start,
+                c3: DATA_COLS,
+                bits: 16,
+                dbits: 16,
+            });
+        }
+        for _ in 0..4 {
+            program.push(Instruction::Arith {
+                kind: ArithKind::Mul,
+                b1: sb,
+                c1: acc.start,
+                b2: sb,
+                c2: acc.start,
+                d: sb,
+                dc: tmp.start,
+                c3: DATA_COLS,
+                bits: 16,
+                dbits: 16,
+            });
+        }
+    }
+    // Point temporaries expire here; the next point reuses their
+    // columns.
+    for prod in prods {
+        cols.free(prod);
+    }
+    cols.free(tmp);
+    cols.free(acc);
+    cols.free(base);
+    cols.free(feat);
+    Ok(())
+}
+
+/// Search one point: a single hoisted `set_qinput` covering both the
+/// window sweep and the CAM field, `ceil(dim/7)` windows split at
+/// chunk-block boundaries, the in-memory distance accumulation, and
+/// the staged nearest search over the distance memory.
+fn emit_search_point(program: &mut Program, shape: PipelineShape) {
+    program.push(Instruction::SetQInput {
+        b: 0,
+        addr: 0,
+        size: shape.dim,
+    });
+    let mut bit = 0;
+    while bit < shape.dim {
+        let window_end = (bit + 7).min(shape.dim);
+        let chunk = bit / DATA_COLS;
+        let chunk_end = (chunk + 1) * DATA_COLS;
+        let end = window_end.min(chunk_end);
+        program.push(Instruction::Hamm7 {
+            b: chunk,
+            c1: bit - chunk * DATA_COLS,
+            c2: end - chunk * DATA_COLS,
+        });
+        bit = end;
+    }
+    let dist_bits = shape.dist_bits();
+    for _ in 1..shape.windows() {
+        program.push(Instruction::Arith {
+            kind: ArithKind::Add,
+            b1: shape.dist_block(),
+            c1: 0,
+            b2: shape.dist_block(),
+            c2: 0,
+            d: shape.dist_block(),
+            dc: 0,
+            c3: DATA_COLS,
+            bits: dist_bits,
+            dbits: dist_bits,
+        });
+    }
+    program.push(Instruction::NearSearch {
+        b: shape.dist_block(),
+        nc: dist_bits,
+        c: 0,
+        q: 0,
+    });
+}
+
+/// Update-accumulate one point: a row-parallel 16-bit counter add per
+/// dimension row block, in place on the batch-lived accumulator
+/// columns.
+fn emit_update_point(program: &mut Program, shape: PipelineShape, update_acc: ColSpan) {
+    for rb in 0..shape.row_blocks() {
+        let sb = shape.scratch_block(rb);
+        program.push(Instruction::Arith {
+            kind: ArithKind::Add,
+            b1: sb,
+            c1: update_acc.start,
+            b2: sb,
+            c2: update_acc.start,
+            d: sb,
+            dc: update_acc.start,
+            c3: DATA_COLS,
+            bits: 16,
+            dbits: 16,
+        });
+    }
+}
+
+/// Re-binarize writeback: every slot's `dim` bits rewritten into its
+/// chunk blocks as `≤ 64`-column NVM writes (the widest write the ISA
+/// allows — the meter's single `Write{dim}` is this sequence).
+fn emit_writeback(program: &mut Program, shape: PipelineShape) {
+    for slot in 0..shape.slots {
+        for chunk in 0..shape.chunk_blocks() {
+            let width = DATA_COLS.min(shape.dim - chunk * DATA_COLS);
+            let mut off = 0;
+            while off < width {
+                let bits = 64.min(width - off);
+                program.push(Instruction::Write {
+                    b: chunk,
+                    r: slot,
+                    c: off,
+                    nr: 1,
+                    bits,
+                });
+                off += bits;
+            }
+        }
+    }
+}
+
+/// Corrupt a built program in place (see [`Mutation`]).
+fn apply_mutation(program: &mut Program, mutation: Mutation) {
+    let insts = program.instructions_mut();
+    match mutation {
+        Mutation::OperandOverlap => {
+            if let Some(Instruction::Arith { c1, dc, .. }) = insts
+                .iter_mut()
+                .find(|i| matches!(i, Instruction::Arith { bits: 8, .. }))
+            {
+                // Destination shifted to straddle operand 1's span.
+                *dc = *c1 + 1;
+            }
+        }
+        Mutation::ScratchClobber => {
+            if let Some(Instruction::Arith { dc, c3, .. }) = insts
+                .iter_mut()
+                .find(|i| matches!(i, Instruction::Arith { bits: 8, .. }))
+            {
+                // Scratch reservation dropped onto the destination.
+                *c3 = *dc;
+            }
+        }
+        Mutation::ScratchBelowData => {
+            if let Some(Instruction::Arith { c3, .. }) = insts
+                .iter_mut()
+                .find(|i| matches!(i, Instruction::Arith { bits: 16, .. }))
+            {
+                // One column below the data/scratch boundary, far from
+                // any destination span.
+                *c3 = DATA_COLS - 1;
+            }
+        }
+        Mutation::QueryOverrun => {
+            // Duplicate the sweep's final window right after it: the
+            // span is fully consumed, so the copy overruns.
+            if let Some(at) = insts
+                .iter()
+                .position(|i| matches!(i, Instruction::NearSearch { .. }))
+            {
+                if let Some(last_window @ Instruction::Hamm7 { .. }) = at
+                    .checked_sub(1)
+                    .and_then(|p| {
+                        insts[..p]
+                            .iter()
+                            .rev()
+                            .find(|i| matches!(i, Instruction::Hamm7 { .. }))
+                            .cloned()
+                            .map(Some)
+                    })
+                    .flatten()
+                {
+                    insts.insert(at, last_window);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> PipelineShape {
+        PipelineShape {
+            dim: 200,
+            n_features: 8,
+            slots: 6,
+            shards: 3,
+            batch: 5,
+        }
+    }
+
+    #[test]
+    fn compiled_program_is_clean_and_hoists_qinput() {
+        let p = Compiler::compile(shape()).expect("compiles");
+        let prog = p.program();
+        // One hoisted query load per point — the interpreted runtime
+        // issues two (hamming + near_search).
+        assert_eq!(prog.count_of("set_qinput"), 5);
+        assert_eq!(prog.count_of("near_search"), 5);
+        // 200 bits < one chunk: no window splits, ceil(200/7) = 29.
+        assert_eq!(prog.count_of("hamm_7"), 5 * 29);
+        assert_eq!(prog.count_of("write"), 6 * 4); // 6 slots × ceil(200/64)
+        assert!(p.cost().time_ns > 0.0);
+        assert!(p.cost().energy_pj > 0.0);
+        // Column reuse across the 5 unrolled points.
+        assert!(p.alloc_stats().reused_cols > 0);
+    }
+
+    #[test]
+    fn every_mutation_is_rejected_with_its_class() {
+        for m in Mutation::ALL {
+            let corrupted = Compiler::compile_corrupted(shape(), m).expect("builds");
+            let geometry = Geometry::new(shape().blocks(), shape().slots, COLS);
+            let report = Verifier::new(geometry).check(corrupted.instructions());
+            assert!(!report.is_clean(), "{} must be rejected", m.name());
+            let classes: Vec<&str> = report.errors().map(|d| d.error.class()).collect();
+            assert!(
+                classes.contains(&m.expected_class()),
+                "{}: expected {} in {classes:?}",
+                m.name(),
+                m.expected_class()
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_straddling_windows_split_cleanly() {
+        let s = PipelineShape {
+            dim: 2500, // spans 3 chunk blocks; 1024 % 7 != 0 forces straddles
+            n_features: 4,
+            slots: 4,
+            shards: 2,
+            batch: 1,
+        };
+        let p = Compiler::compile(s).expect("compiles");
+        // Window pieces: every straddled chunk boundary adds one.
+        let pieces = p.program().count_of("hamm_7");
+        assert!(pieces > s.windows(), "straddles add pieces: {pieces}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Typed errors of the pipeline compiler and its VM.
+
+use std::fmt;
+
+/// Everything that can go wrong while compiling or executing a
+/// pipeline program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// A [`crate::PipelineShape`] parameter is out of the compilable
+    /// range.
+    InvalidShape {
+        /// Which parameter.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// The column allocator ran out of data columns in the scratch
+    /// blocks (the shape needs more live temporaries than a block row
+    /// holds).
+    OutOfColumns {
+        /// Columns requested by the failing allocation.
+        need: usize,
+        /// Data columns per block.
+        width: usize,
+    },
+    /// The emitted program failed `dual_isa_verify::Verifier::check` —
+    /// compilation is gated on a spotless report, so the artifact is
+    /// refused. Always a compiler bug (or an injected mutation), never
+    /// a user error.
+    Rejected {
+        /// Total diagnostics raised (errors and advisories).
+        diagnostics: usize,
+        /// Class of the first diagnostic (e.g.
+        /// `operand-overlaps-destination`).
+        first_class: &'static str,
+        /// Mnemonic of the first offending instruction.
+        mnemonic: &'static str,
+    },
+    /// A program handed to the VM is not executable as compiled (a
+    /// malformed stream, or operands that disagree with it).
+    Malformed {
+        /// What was wrong.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidShape { name, reason } => {
+                write!(f, "invalid pipeline shape `{name}`: {reason}")
+            }
+            Self::OutOfColumns { need, width } => {
+                write!(f, "column allocator exhausted: need {need} of {width} data columns")
+            }
+            Self::Rejected {
+                diagnostics,
+                first_class,
+                mnemonic,
+            } => write!(
+                f,
+                "program rejected by verifier: {diagnostics} diagnostic(s), first {first_class} on `{mnemonic}`"
+            ),
+            Self::Malformed { what } => write!(f, "program not executable: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}

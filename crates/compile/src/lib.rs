@@ -1,0 +1,81 @@
+//! # dual-compile — register-allocating bytecode compiler for the PIM ISA
+//!
+//! The stream engine's interpreted pipeline re-derives the same facts
+//! on every micro-batch: how many 7-bit windows a dimension needs,
+//! where each chunk block starts, how the shard merge folds, which
+//! query-register loads are actually required. This crate does that
+//! work **once**: [`Compiler::compile`] lowers a whole clustering
+//! micro-batch — encode → sharded Hamming search → centroid update —
+//! for a fixed [`PipelineShape`] into one flat, contiguous
+//! [`Program`](dual_isa::Program) of Table I instructions, and the
+//! resulting [`CompiledPipeline`] executes it with zero per-batch
+//! dispatch.
+//!
+//! Three properties define the artifact:
+//!
+//! * **Constant folding + hoisting** — dimension, shard and geometry
+//!   parameters are folded into operands at compile time, and the
+//!   per-point `set_qinput` is hoisted so one query load serves both
+//!   the window sweep and the CAM search (the interpreter issues two).
+//! * **Register/column allocation** — encode temporaries live in
+//!   scratch-block columns handed out by a linear-scan
+//!   [`ColumnAllocator`]; expired intervals are reused across the
+//!   unrolled batch, so the footprint is one point's worth of columns.
+//! * **Verified at build** — every emitted program is gated on
+//!   [`dual_isa_verify::Verifier::check`]; *any* diagnostic, advisory
+//!   included, fails compilation with [`CompileError::Rejected`]. The
+//!   [`Mutation`] corpus keeps the gate honest by force-feeding the
+//!   allocator overlapping columns and proving the verifier refuses
+//!   each corruption with the expected diagnostic class.
+//!
+//! The same artifact drives both executions: the literal-window
+//! [`Vm`] (reference semantics, also runnable on the functional
+//! simulator via [`dual_isa::Runtime::run_program`]) and the fused
+//! word-level kernel in [`CompiledPipeline::assign_batch`] the stream
+//! engine dispatches to. The differential suite pins the two
+//! bit-identical.
+//!
+//! ```rust
+//! use dual_compile::{Compiler, PipelineShape};
+//! use dual_hdc::{BitVec, Hypervector};
+//!
+//! let shape = PipelineShape {
+//!     dim: 128,
+//!     n_features: 4,
+//!     slots: 2,
+//!     shards: 2,
+//!     batch: 3,
+//! };
+//! let compiled = Compiler::compile(shape)?;
+//! // One hoisted query load per point, already verified clean.
+//! assert_eq!(compiled.program().count_of("set_qinput"), 3);
+//!
+//! let zeros = Hypervector::from_bitvec(BitVec::zeros(128));
+//! let ones = Hypervector::from_bitvec(BitVec::ones(128));
+//! let assigned = compiled.assign_batch(
+//!     &[zeros.clone(), ones.clone(), zeros.clone()],
+//!     &[zeros, ones],
+//!     1,
+//! );
+//! assert_eq!(assigned, vec![(0, 0), (1, 0), (0, 0)]);
+//! # Ok::<(), dual_compile::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+// This crate starts at zero unwrap/expect debt: deny outright.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![warn(missing_docs)]
+
+mod alloc;
+mod compiler;
+mod error;
+mod pipeline;
+mod shape;
+mod vm;
+
+pub use alloc::{AllocStats, ColSpan, ColumnAllocator};
+pub use compiler::{Compiler, Mutation};
+pub use error::CompileError;
+pub use pipeline::CompiledPipeline;
+pub use shape::{PipelineShape, COLS, DATA_COLS};
+pub use vm::Vm;

@@ -1,0 +1,206 @@
+//! Pipeline shapes: the compile-time constants a program specializes
+//! over.
+
+use dual_isa::ProgramGeometry;
+use serde::{Deserialize, Serialize};
+
+use crate::error::CompileError;
+
+/// Data columns per crossbar block the compiler targets. One dimension
+/// *chunk* of a hypervector occupies one block's data columns, so
+/// D=4000 spans four chunk blocks — the same `ceil(D/1024)` block
+/// count the stream meter charges per row-parallel op.
+pub const DATA_COLS: usize = 1024;
+
+/// Total columns per block: the upper half is Table III arithmetic
+/// scratch (the `Runtime` convention: `data_cols = cols / 2`).
+pub const COLS: usize = 2 * DATA_COLS;
+
+/// Every parameter a clustering micro-batch pipeline is specialized
+/// over at compile time. Dimension, shard and geometry constants are
+/// folded into the emitted instruction stream — there is no runtime
+/// dispatch left in the compiled artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineShape {
+    /// Hypervector dimensionality D.
+    pub dim: usize,
+    /// Input features per point (the HD-Mapper fan-in `m`).
+    pub n_features: usize,
+    /// Sub-centroid slots (`k × centroids_per_cluster`) — the CAM rows
+    /// every search sweeps.
+    pub slots: usize,
+    /// Shard count of the Hamming index the kernel mirrors.
+    pub shards: usize,
+    /// Micro-batch size the program is unrolled for.
+    pub batch: usize,
+}
+
+impl PipelineShape {
+    /// Check every parameter is inside the compilable envelope.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::InvalidShape`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), CompileError> {
+        if self.dim == 0 || self.dim > 1 << 20 {
+            return Err(CompileError::InvalidShape {
+                name: "dim",
+                reason: "must be 1..=2^20",
+            });
+        }
+        if self.n_features == 0 || self.n_features > 96 {
+            return Err(CompileError::InvalidShape {
+                name: "n_features",
+                reason: "must be 1..=96 (encode temporaries must fit one block row)",
+            });
+        }
+        if self.slots == 0 || self.slots > 1024 {
+            return Err(CompileError::InvalidShape {
+                name: "slots",
+                reason: "must be 1..=1024 (one CAM block of rows)",
+            });
+        }
+        if self.shards == 0 || self.shards > 4096 {
+            return Err(CompileError::InvalidShape {
+                name: "shards",
+                reason: "must be 1..=4096",
+            });
+        }
+        if self.batch == 0 || self.batch > 1 << 16 {
+            return Err(CompileError::InvalidShape {
+                name: "batch",
+                reason: "must be 1..=65536",
+            });
+        }
+        Ok(())
+    }
+
+    /// 64-bit words per hypervector (the popcount word count the fused
+    /// kernel iterates).
+    #[must_use]
+    pub fn words(&self) -> usize {
+        self.dim.div_ceil(64)
+    }
+
+    /// 7-bit Hamming windows per distance computation.
+    #[must_use]
+    pub fn windows(&self) -> usize {
+        self.dim.div_ceil(7)
+    }
+
+    /// Width of a Hamming distance register: distances reach `dim`
+    /// inclusive, so this is `bits(dim)`.
+    #[must_use]
+    pub fn dist_bits(&self) -> usize {
+        usize::try_from(usize::BITS - self.dim.leading_zeros()).unwrap_or(64)
+    }
+
+    /// Blocks holding one hypervector's bit-columns
+    /// (`ceil(dim / DATA_COLS)`).
+    #[must_use]
+    pub fn chunk_blocks(&self) -> usize {
+        self.dim.div_ceil(DATA_COLS)
+    }
+
+    /// Row blocks the encode/update arithmetic replicates across —
+    /// identical to [`PipelineShape::chunk_blocks`] under the 1024-bit
+    /// chunk layout, named separately because it mirrors the stream
+    /// meter's `ceil(D / 1024)` grid factor.
+    #[must_use]
+    pub fn row_blocks(&self) -> usize {
+        self.chunk_blocks()
+    }
+
+    /// Block index of the §V-B distance memory.
+    #[must_use]
+    pub fn dist_block(&self) -> usize {
+        self.chunk_blocks()
+    }
+
+    /// Block index of the `i`-th arithmetic scratch block (encode and
+    /// update temporaries live here, one block per dimension chunk).
+    #[must_use]
+    pub fn scratch_block(&self, i: usize) -> usize {
+        self.chunk_blocks() + 1 + i
+    }
+
+    /// Total blocks the compiled program addresses: dimension chunks,
+    /// the distance memory, and one scratch block per chunk.
+    #[must_use]
+    pub fn blocks(&self) -> usize {
+        2 * self.chunk_blocks() + 1
+    }
+
+    /// The geometry stamped onto the emitted program.
+    #[must_use]
+    pub fn geometry(&self) -> ProgramGeometry {
+        ProgramGeometry {
+            blocks: self.blocks(),
+            rows: self.slots,
+            cols: COLS,
+        }
+    }
+
+    /// `log2` of the (power-of-two-rounded) feature fan-in — the depth
+    /// of the encode accumulation tree.
+    #[must_use]
+    pub fn log_m(&self) -> usize {
+        usize::try_from(self.n_features.max(2).next_power_of_two().trailing_zeros()).unwrap_or(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> PipelineShape {
+        PipelineShape {
+            dim: 4000,
+            n_features: 16,
+            slots: 16,
+            shards: 8,
+            batch: 64,
+        }
+    }
+
+    #[test]
+    fn derived_constants_match_paper_geometry() {
+        let s = shape();
+        assert!(s.validate().is_ok());
+        assert_eq!(s.words(), 63);
+        assert_eq!(s.windows(), 572);
+        assert_eq!(s.dist_bits(), 12);
+        assert_eq!(s.chunk_blocks(), 4);
+        assert_eq!(s.dist_block(), 4);
+        assert_eq!(s.scratch_block(0), 5);
+        assert_eq!(s.blocks(), 9);
+        assert_eq!(s.log_m(), 4);
+        let g = s.geometry();
+        assert_eq!((g.blocks, g.rows, g.cols), (9, 16, 2048));
+        assert_eq!(g.data_cols(), 1024);
+    }
+
+    #[test]
+    fn validation_rejects_out_of_envelope_parameters() {
+        for (mutate, name) in [
+            (
+                Box::new(|s: &mut PipelineShape| s.dim = 0) as Box<dyn Fn(&mut PipelineShape)>,
+                "dim",
+            ),
+            (
+                Box::new(|s: &mut PipelineShape| s.n_features = 97),
+                "n_features",
+            ),
+            (Box::new(|s: &mut PipelineShape| s.slots = 0), "slots"),
+            (Box::new(|s: &mut PipelineShape| s.shards = 0), "shards"),
+            (Box::new(|s: &mut PipelineShape| s.batch = 0), "batch"),
+        ] {
+            let mut s = shape();
+            mutate(&mut s);
+            match s.validate() {
+                Err(CompileError::InvalidShape { name: got, .. }) => assert_eq!(got, name),
+                other => panic!("expected InvalidShape for {name}, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Pre-compiled instruction programs.
+//!
+//! A [`Program`] is a flat, contiguous stream of Table-I
+//! [`Instruction`]s together with the block geometry it was compiled
+//! against — the single artifact that the functional simulator
+//! ([`crate::Runtime::run_program`]), the static verifier
+//! (`dual-isa-verify`) and the analytical cost model all consume.
+//! Contrast with the tree-walking builtins ([`crate::Runtime::hamming`]
+//! etc.), which re-derive their instruction stream on every call: a
+//! program is lowered once, checked once, and replayed as data.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+use crate::inst::Instruction;
+
+/// Block geometry a [`Program`] was compiled against. Execution
+/// requires a runtime whose blocks are at least this large (and whose
+/// column split matches exactly — column addressing is physical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramGeometry {
+    /// Crossbar blocks addressed by the program.
+    pub blocks: usize,
+    /// Rows per block the program sweeps (CAM searches and row-parallel
+    /// arithmetic cover rows `0..rows`).
+    pub rows: usize,
+    /// Total columns per block; the upper half is arithmetic scratch.
+    pub cols: usize,
+}
+
+impl ProgramGeometry {
+    /// Columns available for data; the rest are arithmetic scratch
+    /// (same split as [`crate::Runtime::with_block_geometry`]).
+    #[must_use]
+    pub fn data_cols(&self) -> usize {
+        self.cols / 2
+    }
+}
+
+/// A rectangular region of cells inside one block, named by the
+/// program so the executor knows where architectural side effects
+/// land (e.g. the §V-B distance memory that `hamm_7` window counters
+/// accumulate into).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Block index.
+    pub block: usize,
+    /// First column of the region.
+    pub col: usize,
+    /// Width in bit-columns.
+    pub bits: usize,
+    /// Rows covered (always starting at row 0).
+    pub rows: usize,
+}
+
+/// A named, geometry-stamped, flat instruction stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    name: String,
+    geometry: ProgramGeometry,
+    instructions: Vec<Instruction>,
+    distance: Option<Region>,
+}
+
+impl Program {
+    /// An empty program for `geometry`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, geometry: ProgramGeometry) -> Self {
+        Self {
+            name: name.into(),
+            geometry,
+            instructions: Vec::new(),
+            distance: None,
+        }
+    }
+
+    /// Human-readable program name (shape-mangled by compilers).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The geometry the program addresses.
+    #[must_use]
+    pub fn geometry(&self) -> ProgramGeometry {
+        self.geometry
+    }
+
+    /// Append one instruction.
+    pub fn push(&mut self, inst: Instruction) {
+        self.instructions.push(inst);
+    }
+
+    /// The flat instruction stream.
+    #[must_use]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Mutable access to the stream — the mutation-corpus hook (fault
+    /// injection for verifier tests), not a normal construction path.
+    pub fn instructions_mut(&mut self) -> &mut Vec<Instruction> {
+        &mut self.instructions
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the stream is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Declare where `hamm_7` window counters accumulate (§V-B
+    /// distance memory). `set_qinput` clears the region; `near_search`
+    /// over it resolves the winner.
+    pub fn set_distance_region(&mut self, region: Region) {
+        self.distance = Some(region);
+    }
+
+    /// The declared distance-memory region, if any.
+    #[must_use]
+    pub fn distance_region(&self) -> Option<Region> {
+        self.distance
+    }
+
+    /// How many instructions carry the given mnemonic.
+    #[must_use]
+    pub fn count_of(&self, mnemonic: &str) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| i.mnemonic() == mnemonic)
+            .count()
+    }
+}
+
+/// Host-side operand and result channels for
+/// [`crate::Runtime::run_program`]: queries consumed by `set_qinput`,
+/// row data consumed by `write`, and the register values latched by
+/// the search instructions.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramIo {
+    queries: VecDeque<Vec<bool>>,
+    writes: VecDeque<u64>,
+    /// `(row, value)` latched by each `near_search`, in stream order.
+    pub results: Vec<(usize, u64)>,
+    /// Matching rows reported by each `exact_search`, in stream order.
+    pub matches: Vec<Vec<usize>>,
+}
+
+impl ProgramIo {
+    /// Empty channels.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a query bit-vector for the next `set_qinput`.
+    pub fn push_query(&mut self, bits: Vec<bool>) {
+        self.queries.push_back(bits);
+    }
+
+    /// Queue one row value for the next `write` (values are consumed
+    /// row-by-row; missing values write zero).
+    pub fn push_write(&mut self, value: u64) {
+        self.writes.push_back(value);
+    }
+
+    /// Queries still waiting to be consumed.
+    #[must_use]
+    pub fn pending_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    pub(crate) fn pop_query(&mut self) -> Option<Vec<bool>> {
+        self.queries.pop_front()
+    }
+
+    pub(crate) fn pop_write(&mut self) -> u64 {
+        self.writes.pop_front().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Instruction;
+
+    #[test]
+    fn program_accumulates_and_counts() {
+        let mut p = Program::new(
+            "t",
+            ProgramGeometry {
+                blocks: 1,
+                rows: 4,
+                cols: 64,
+            },
+        );
+        assert!(p.is_empty());
+        p.push(Instruction::SetQInput {
+            b: 0,
+            addr: 0,
+            size: 8,
+        });
+        p.push(Instruction::Hamm7 { b: 0, c1: 0, c2: 7 });
+        p.push(Instruction::Hamm7 { b: 0, c1: 7, c2: 8 });
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.count_of("hamm_7"), 2);
+        assert_eq!(p.count_of("set_qinput"), 1);
+        assert_eq!(p.geometry().data_cols(), 32);
+        assert_eq!(p.name(), "t");
+        assert!(p.distance_region().is_none());
+    }
+
+    #[test]
+    fn io_channels_fifo() {
+        let mut io = ProgramIo::new();
+        io.push_query(vec![true, false]);
+        io.push_write(7);
+        assert_eq!(io.pending_queries(), 1);
+        assert_eq!(io.pop_query(), Some(vec![true, false]));
+        assert_eq!(io.pop_write(), 7);
+        assert_eq!(io.pop_write(), 0, "missing write data defaults to zero");
+    }
+}

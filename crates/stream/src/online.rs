@@ -293,6 +293,47 @@ impl OnlineKMeans {
         update
     }
 
+    /// [`OnlineKMeans::observe_batch`] with the assign stage delegated
+    /// to `assign` — the hook the stream engine uses to dispatch a
+    /// pre-compiled pipeline kernel. Seed, decay, accumulate and
+    /// re-binarize are byte-for-byte the interpreted stages; only the
+    /// nearest-centroid search is swapped, and the caller owes the
+    /// same contract [`ShardedIndex::assign`] meets: one
+    /// `(global slot, distance)` per query, bit-identical to the flat
+    /// scan.
+    ///
+    /// # Panics
+    ///
+    /// As [`OnlineKMeans::observe_batch`]; additionally if `assign`
+    /// returns a different number of assignments than queries.
+    pub fn observe_batch_with<F>(
+        &mut self,
+        encoded: &[Hypervector],
+        threads: usize,
+        assign: F,
+    ) -> BatchUpdate
+    where
+        F: FnOnce(&[Hypervector], &[Hypervector], usize) -> Vec<(usize, usize)>,
+    {
+        if encoded.is_empty() {
+            return BatchUpdate::default();
+        }
+        assert!(
+            encoded.iter().all(|h| h.dim() == self.dim),
+            "batch hypervector dimensionality differs from model dim"
+        );
+        let mut update = BatchUpdate::default();
+        self.seed_from(encoded, &mut update);
+        self.decay_all();
+        update.assignments = assign(encoded, self.index.centroids(), threads);
+        assert!(
+            update.assignments.len() == encoded.len(),
+            "assign hook must return one assignment per query"
+        );
+        self.fold(encoded, &mut update);
+        update
+    }
+
     /// [`OnlineKMeans::observe_batch`] with a fault-injected *sense*
     /// stage: the assignment step searches the centroid array as seen
     /// through `sense(slot, stored)` instead of the pristine storage.
